@@ -1,0 +1,80 @@
+// Experiment E12 (extension) — empirical adversary search.
+//
+// The upper bounds of Theorems 2/4 are worst-case over all asynchronous
+// executions. Here we *search* for bad executions: many randomized
+// daemons (random-single and random-subset, distinct seeds) run the same
+// election, and the observed spread of configuration steps is compared
+// against the synchronous run and the theorem ceiling. Expectations:
+// every sampled execution elects the same true leader, no sampled
+// execution beats the Lemma 1 lower bound, and none exceeds the theorem
+// ceiling (for A_k: one action per message + n inits bounds steps by
+// messages + n).
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "core/parallel_sweep.hpp"
+#include "ring/generator.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hring;
+  const bool csv = benchutil::want_csv(argc, argv);
+
+  constexpr std::size_t kSamples = 64;
+  std::cout << "E12: randomized-daemon adversary search (" << kSamples
+            << " schedules per cell)\n\n";
+  support::Table table({"algo", "n", "k", "daemon", "min steps",
+                        "max steps", "sync steps", "lower bound",
+                        "ceiling (msgs+n)"});
+
+  support::Rng ring_rng(0xE12);
+  for (const auto algo :
+       {election::AlgorithmId::kAk, election::AlgorithmId::kBk}) {
+    for (const std::size_t n : {8u, 16u}) {
+      const std::size_t k = 2;
+      const auto ring =
+          ring::random_asymmetric_ring(n, k, (n + k - 1) / k + 2, ring_rng);
+      if (!ring) continue;
+      const auto expected_leader = ring->true_leader();
+
+      core::ElectionConfig sync_config;
+      sync_config.algorithm = {algo, k, false};
+      const auto sync_run = core::run_election(*ring, sync_config);
+      const std::uint64_t ceiling = sync_run.stats.messages_sent + n;
+
+      for (const auto daemon : {core::SchedulerKind::kRandomSingle,
+                                core::SchedulerKind::kRandomSubset}) {
+        const auto steps = core::parallel_map<std::uint64_t>(
+            kSamples, [&](std::size_t i) {
+              core::ElectionConfig config;
+              config.algorithm = {algo, k, false};
+              config.scheduler = daemon;
+              config.seed = 0xBAD5EED + i;
+              const auto m = core::measure(*ring, config);
+              HRING_ENSURES(m.ok());
+              HRING_ENSURES(m.result.leader_pid() == expected_leader);
+              return m.result.stats.steps;
+            });
+        const auto [lo, hi] = std::minmax_element(steps.begin(), steps.end());
+        table.row()
+            .cell(election::algorithm_name(algo))
+            .cell(static_cast<std::uint64_t>(n))
+            .cell(static_cast<std::uint64_t>(k))
+            .cell(core::scheduler_kind_name(daemon))
+            .cell(*lo)
+            .cell(*hi)
+            .cell(sync_run.stats.steps)
+            .cell(core::lower_bound_steps(n, k))
+            .cell(ceiling);
+      }
+    }
+  }
+  benchutil::emit(table, csv);
+  std::cout << "\npaper: the winner is schedule-independent (checked for "
+               "every sample); min steps\nrespects the Lemma 1 bound; "
+               "sequential daemons stretch executions toward one\naction "
+               "per step but never past the message-count ceiling.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Experiment E3 — Theorem 2: A_k's exact upper bounds, measured.
+//
+//   time     <= (2k+2)·n        (worst-case unit delays)
+//   messages <= n²(2k+1) + n
+//   space    <= (2k+1)·n·b + 2b + 3 bits per process
+//
+// Three multiplicity profiles stress different branches of the analysis:
+// "distinct" (M = 1: the worst case of the time bound, m = (2k+1)n),
+// "saturated" (some label hits the bound k: the fastest detection), and
+// "unique" (the U* ∩ K_k profile of [10]'s setting). Every measured value
+// must sit at or below its bound; ratios show the slack.
+#include <iostream>
+#include <optional>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "ring/generator.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = hring::benchutil::want_csv(argc, argv);
+  using namespace hring;
+
+  std::cout << "E3: A_k measured vs Theorem 2 bounds (event engine, unit "
+               "delays)\n\n";
+  support::Table table({"profile", "n", "k", "time", "(2k+2)n", "t-ratio",
+                        "msgs", "n2(2k+1)+n", "m-ratio", "bits",
+                        "space bound", "s-ratio"});
+  support::Rng rng(0xE3);
+
+  const auto run_row = [&table](const char* profile,
+                                const ring::LabeledRing& ring,
+                                std::size_t k) {
+    const std::size_t n = ring.size();
+    core::ElectionConfig config;
+    config.algorithm = {election::AlgorithmId::kAk, k, false};
+    config.engine = core::EngineKind::kEvent;
+    config.delay = core::DelayKind::kWorstCase;
+    const auto m = core::measure(ring, config);
+    if (!m.ok()) {
+      std::cerr << "verification FAILED on " << ring.to_string() << ": "
+                << m.verification.to_string() << "\n";
+      std::exit(1);
+    }
+    const double tb = core::ak_time_bound(n, k);
+    const auto mb = core::ak_message_bound(n, k);
+    const auto sb = core::ak_space_bound(n, k, ring.label_bits());
+    table.row()
+        .cell(profile)
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(k))
+        .cell(m.result.stats.time_units, 0)
+        .cell(tb, 0)
+        .cell(m.result.stats.time_units / tb)
+        .cell(m.result.stats.messages_sent)
+        .cell(mb)
+        .cell(static_cast<double>(m.result.stats.messages_sent) /
+              static_cast<double>(mb))
+        .cell(static_cast<std::uint64_t>(m.result.stats.peak_space_bits))
+        .cell(static_cast<std::uint64_t>(sb))
+        .cell(static_cast<double>(m.result.stats.peak_space_bits) /
+              static_cast<double>(sb));
+  };
+
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    for (const std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+      // distinct-label profile (M = 1, the time bound's worst case).
+      run_row("distinct", ring::distinct_ring(n, rng), k);
+      // saturated profile: some label occurs exactly k times.
+      if (k >= 2 && n >= k + 1) {
+        const auto sat = ring::saturated_multiplicity_ring(n, k, rng);
+        if (sat) run_row("saturated", *sat, k);
+      }
+      // unique-label profile (U* ∩ K_k).
+      if (k >= 2) run_row("unique", ring::unique_label_ring(n, k, rng), k);
+    }
+  }
+  hring::benchutil::emit(table, csv);
+  std::cout << "\npaper: every ratio <= 1 (the bounds are sound); the "
+               "distinct profile pushes the\ntime ratio toward 1 "
+               "(m = (2k+1)n + n-ish of the (2k+2)n budget), saturated "
+               "rings\ndetect after ~ (2k+1)n/k tokens and sit well below "
+               "it.\n";
+  return 0;
+}

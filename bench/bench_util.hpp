@@ -1,0 +1,27 @@
+// Shared plumbing for the table benches: `--csv` switches the output from
+// the aligned console table to RFC-4180 CSV, for downstream plotting.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+
+#include "support/table.hpp"
+
+namespace hring::benchutil {
+
+[[nodiscard]] inline bool want_csv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+inline void emit(const support::Table& table, bool csv) {
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace hring::benchutil

@@ -1,0 +1,83 @@
+// Group-signature scenario — the paper's motivating application (§I).
+//
+// A ring of servers signs messages with *group* signatures: every member
+// of an administrative group shares one signature, so processes are
+// homonyms — the label (signature) identifies the group, not the process,
+// preserving intra-group privacy. The operators still need a coordinator.
+//
+// As long as (a) the resulting labeled ring is asymmetric and (b) a bound
+// k on group size is known (groups here have at most 3 members), B_k
+// elects a coordinator with O(log k + b)-bit state per server, revealing
+// nothing beyond the signatures already public.
+//
+//   $ ./group_signatures
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/election_driver.hpp"
+#include "core/verification.hpp"
+#include "ring/classes.hpp"
+
+int main() {
+  using namespace hring;
+
+  // Nine servers in four groups; the signature (= label) is the group id.
+  //   accounting: {s0, s4, s7}, web: {s1, s5}, storage: {s2, s6, s8},
+  //   build: {s3}.
+  struct Server {
+    const char* group;
+    words::Label::rep_type signature;
+  };
+  const std::vector<Server> servers = {
+      {"accounting", 1}, {"web", 2},        {"storage", 3},
+      {"build", 4},      {"accounting", 1}, {"web", 2},
+      {"storage", 3},    {"accounting", 1}, {"storage", 3},
+  };
+
+  words::LabelSequence labels;
+  for (const auto& s : servers) labels.emplace_back(s.signature);
+  const ring::LabeledRing ring{labels};
+  const auto report = ring::classify(ring);
+  std::cout << "signature ring: " << ring.to_string() << "\n"
+            << "classes: " << report.to_string() << "\n";
+  if (!report.asymmetric) {
+    std::cerr << "ring is symmetric: no deterministic election exists "
+                 "(Corollary 3); re-seat the ring.\n";
+    return 1;
+  }
+  const std::size_t k = report.min_k();  // largest group size = 3
+  std::cout << "largest group size k = " << k
+            << " (known a priori to every server)\n\n";
+
+  // Space matters on these boxes: use B_k, the O(log k + b)-bit algorithm.
+  core::ElectionConfig config;
+  config.algorithm = {election::AlgorithmId::kBk, k, false};
+  config.scheduler = core::SchedulerKind::kRandomSubset;  // asynchrony
+  config.seed = 2026;
+  const auto result = core::run_election(ring, config);
+
+  const auto verification = core::verify_election(ring, result, true);
+  if (!verification.ok) {
+    std::cerr << verification.to_string() << "\n";
+    return 1;
+  }
+  const auto leader = *result.leader_pid();
+  std::cout << "coordinator: s" << leader << " from group \""
+            << servers[leader].group << "\" (signature "
+            << words::to_string(ring.label(leader)) << ")\n";
+  std::cout << "note: other servers learn only the *signature* of the "
+               "coordinator's group\n      plus its ring position — "
+               "group members stay mutually anonymous.\n\n";
+  std::cout << "cost: " << result.stats.messages_sent << " messages, peak "
+            << result.stats.peak_space_bits << " bits per server\n";
+
+  // Contrast: A_k would be faster but stores whole label strings.
+  core::ElectionConfig ak = config;
+  ak.algorithm = {election::AlgorithmId::kAk, k, false};
+  const auto ak_result = core::run_election(ring, ak);
+  std::cout << "(A_k on the same ring: " << ak_result.stats.messages_sent
+            << " messages, peak " << ak_result.stats.peak_space_bits
+            << " bits per server)\n";
+  return 0;
+}

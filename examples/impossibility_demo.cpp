@@ -1,0 +1,70 @@
+// Impossibility demonstrator (experiment E2, Theorem 1).
+//
+// No algorithm can solve process-terminating leader election for all of
+// U* — rings where some label is unique — without a multiplicity bound.
+// The proof's fooling construction is executable: take any K_1 ring R_n,
+// repeat its labels k' times, append one fresh label X. For far-away
+// processes the first synchronous steps are indistinguishable from R_n,
+// so an algorithm tuned for multiplicity k < k' elects several leaders.
+//
+// This demo runs A_2 on R_{4,7} and prints the violation the spec monitor
+// catches, then shows the same ring electing cleanly once k is honest.
+//
+//   $ ./impossibility_demo
+#include <iostream>
+
+#include "core/election_driver.hpp"
+#include "core/verification.hpp"
+#include "ring/classes.hpp"
+#include "ring/fooling.hpp"
+
+int main() {
+  using namespace hring;
+
+  const auto base = ring::LabeledRing::from_values({2, 4, 1, 3});
+  const std::size_t k_algo = 2;    // what A_k believes
+  const std::size_t k_actual = 7;  // what the adversary builds
+  const auto fooled = ring::fooling_ring(base, k_actual);
+
+  std::cout << "base ring R_n: " << base.to_string() << "\n";
+  std::cout << "fooling ring R_{n,k'}: " << fooled.to_string() << "\n";
+  std::cout << "classes: " << ring::classify(fooled).to_string()
+            << "  — in U*, but multiplicity " << k_actual << " > k = "
+            << k_algo << "\n\n";
+
+  core::ElectionConfig config;
+  config.algorithm = {election::AlgorithmId::kAk, k_algo, false};
+  config.stop_on_violation = true;
+  const auto result = core::run_election(fooled, config);
+
+  std::cout << "running A_" << k_algo << " ... outcome: "
+            << sim::outcome_name(result.outcome) << "\n";
+  for (const auto& v : result.violations) {
+    std::cout << "  spec violation: " << v << "\n";
+  }
+  std::size_t leaders = 0;
+  for (const auto& p : result.processes) {
+    if (p.is_leader) {
+      ++leaders;
+      std::cout << "  false leader: p" << p.pid << " (label "
+                << words::to_string(p.id) << ")\n";
+    }
+  }
+  std::cout << "-> " << leaders << " processes elected themselves: the "
+            << "multi-leader failure Lemma 1 predicts.\n\n";
+
+  // With the honest bound the very same ring is electable: R_{n,k'} is in
+  // U* ∩ K_{k'} ⊆ A ∩ K_{k'}.
+  core::ElectionConfig honest;
+  honest.algorithm = {election::AlgorithmId::kAk, k_actual, false};
+  const auto fixed = core::run_election(fooled, honest);
+  const auto verification = core::verify_election(fooled, fixed, true);
+  std::cout << "running A_" << k_actual << " on the same ring ... outcome: "
+            << sim::outcome_name(fixed.outcome)
+            << ", verification: " << verification.to_string() << "\n";
+  std::cout << "-> the impossibility is about *not knowing* k, not about "
+               "the rings themselves.\n";
+  return verification.ok && result.outcome == sim::Outcome::kViolation
+             ? 0
+             : 1;
+}

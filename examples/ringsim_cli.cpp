@@ -1,0 +1,271 @@
+// ringsim: command-line driver for the whole library.
+//
+// Run any registered algorithm on any labeled ring under any daemon or
+// delay model, with optional action-level tracing.
+//
+//   $ ./ringsim_cli --ring 1,3,1,3,2,2,1,2 --algo Bk --k 3 --trace
+//   $ ./ringsim_cli --random-n 12 --k 2 --algo Ak --sched random-subset
+//   $ ./ringsim_cli --ring 1,2,3 --algo Peterson --engine event
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/election_driver.hpp"
+#include "core/verification.hpp"
+#include "ring/classes.hpp"
+#include "ring/generator.hpp"
+#include "core/model_checker.hpp"
+#include "core/report.hpp"
+#include "core/ringspec.hpp"
+#include "sim/render.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cout
+      << "usage: " << argv0 << " [options]\n"
+      << "  --ring A,B,C,...    clockwise labels (unsigned integers)\n"
+      << "  --random-n N        instead of --ring: random asymmetric ring\n"
+      << "  --spec FILE         load ring + config from a ringspec file\n"
+      << "  --algo NAME         Ak | Bk | ChangRoberts | LeLann | Peterson"
+         " (default Ak)\n"
+      << "  --k K               multiplicity bound for Ak/Bk (default: the"
+         " ring's actual one)\n"
+      << "  --engine KIND       step | event (default step)\n"
+      << "  --sched KIND        synchronous | round-robin | random-single |"
+         " random-subset | convoy\n"
+      << "  --delay KIND        worst-case | uniform | slow-link (event"
+         " engine)\n"
+      << "  --seed S            randomness seed (default 1)\n"
+      << "  --trace             print the action-level trace\n"
+      << "  --watch N           render the configuration every N steps\n"
+      << "  --model-check       exhaustively verify EVERY schedule (small\n"
+         "                      rings; Ak/Bk only) instead of one run\n"
+      << "  --json              emit the full run report as JSON\n"
+      << "  --quiet             outcome + stats only\n";
+}
+
+std::optional<hring::words::LabelSequence> parse_ring(const std::string& s) {
+  hring::words::LabelSequence labels;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      labels.emplace_back(std::stoull(item));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  if (labels.size() < 2) return std::nullopt;
+  return labels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hring;
+
+  std::optional<words::LabelSequence> labels;
+  std::optional<core::RingSpec> spec;
+  std::size_t random_n = 0;
+  std::string algo_name = "Ak";
+  std::size_t k = 0;
+  core::ElectionConfig config;
+  bool trace_enabled = false;
+  bool quiet = false;
+  bool model_check = false;
+  bool json = false;
+  std::uint64_t watch_every = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(EXIT_FAILURE);
+      }
+      return argv[++i];
+    };
+    if (arg == "--ring") {
+      labels = parse_ring(next());
+      if (!labels) {
+        std::cerr << "bad --ring (need >= 2 comma-separated integers)\n";
+        return EXIT_FAILURE;
+      }
+    } else if (arg == "--spec") {
+      std::ifstream file(next());
+      if (!file) {
+        std::cerr << "cannot open spec file\n";
+        return EXIT_FAILURE;
+      }
+      auto parsed = core::parse_ringspec(file);
+      if (parsed.error.has_value()) {
+        std::cerr << "spec error: " << parsed.error->to_string() << "\n";
+        return EXIT_FAILURE;
+      }
+      spec = std::move(parsed.spec);
+    } else if (arg == "--random-n") {
+      random_n = static_cast<std::size_t>(std::stoull(next()));
+    } else if (arg == "--algo") {
+      algo_name = next();
+    } else if (arg == "--k") {
+      k = static_cast<std::size_t>(std::stoull(next()));
+    } else if (arg == "--engine") {
+      const std::string v = next();
+      if (v == "step") {
+        config.engine = core::EngineKind::kStep;
+      } else if (v == "event") {
+        config.engine = core::EngineKind::kEvent;
+      } else {
+        std::cerr << "bad --engine\n";
+        return EXIT_FAILURE;
+      }
+    } else if (arg == "--sched") {
+      const std::string v = next();
+      if (v == "synchronous") {
+        config.scheduler = core::SchedulerKind::kSynchronous;
+      } else if (v == "round-robin") {
+        config.scheduler = core::SchedulerKind::kRoundRobin;
+      } else if (v == "random-single") {
+        config.scheduler = core::SchedulerKind::kRandomSingle;
+      } else if (v == "random-subset") {
+        config.scheduler = core::SchedulerKind::kRandomSubset;
+      } else if (v == "convoy") {
+        config.scheduler = core::SchedulerKind::kConvoy;
+      } else {
+        std::cerr << "bad --sched\n";
+        return EXIT_FAILURE;
+      }
+    } else if (arg == "--delay") {
+      const std::string v = next();
+      if (v == "worst-case") {
+        config.delay = core::DelayKind::kWorstCase;
+      } else if (v == "uniform") {
+        config.delay = core::DelayKind::kUniformRandom;
+      } else if (v == "slow-link") {
+        config.delay = core::DelayKind::kSlowLink;
+      } else {
+        std::cerr << "bad --delay\n";
+        return EXIT_FAILURE;
+      }
+    } else if (arg == "--seed") {
+      config.seed = std::stoull(next());
+    } else if (arg == "--trace") {
+      trace_enabled = true;
+    } else if (arg == "--watch") {
+      watch_every = std::stoull(next());
+    } else if (arg == "--model-check") {
+      model_check = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return EXIT_SUCCESS;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      usage(argv[0]);
+      return EXIT_FAILURE;
+    }
+  }
+
+  const auto algo = election::algorithm_from_name(algo_name);
+  if (!algo) {
+    std::cerr << "unknown algorithm " << algo_name << "\n";
+    return EXIT_FAILURE;
+  }
+
+  std::optional<ring::LabeledRing> ring;
+  if (spec.has_value()) {
+    ring.emplace(spec->ring);
+    config = spec->config;
+    algo_name = election::algorithm_name(config.algorithm.id);
+    if (k == 0) k = config.algorithm.k;
+  } else if (labels) {
+    ring.emplace(*labels);
+  } else if (random_n >= 2) {
+    support::Rng rng(config.seed);
+    const std::size_t want_k = k == 0 ? 2 : k;
+    ring = ring::random_asymmetric_ring(
+        random_n, want_k, (random_n + want_k - 1) / want_k + 2, rng);
+    if (!ring) {
+      std::cerr << "could not sample an asymmetric ring\n";
+      return EXIT_FAILURE;
+    }
+  } else {
+    usage(argv[0]);
+    return EXIT_FAILURE;
+  }
+
+  if (json) quiet = true;  // JSON owns stdout
+
+  const auto report = ring::classify(*ring);
+  if (k == 0) k = report.min_k();
+  config.algorithm = {*algo, k, false};
+
+  if (!quiet) {
+    std::cout << "ring:  " << ring->to_string() << "\n";
+    std::cout << "class: " << report.to_string() << "\n";
+    std::cout << "algo:  " << election::algorithm_name(*algo)
+              << " (k = " << k << ")\n";
+    if (!election::ring_in_algorithm_class(config.algorithm, *ring)) {
+      std::cout << "warning: ring is OUTSIDE the algorithm's class — "
+                   "anything can happen (see impossibility_demo)\n";
+    }
+  }
+
+  if (model_check) {
+    if (*algo != election::AlgorithmId::kAk &&
+        *algo != election::AlgorithmId::kBk) {
+      std::cerr << "--model-check supports Ak and Bk only\n";
+      return EXIT_FAILURE;
+    }
+    core::ModelCheckConfig check_config;
+    check_config.check_true_leader = report.asymmetric;
+    const auto check = core::check_all_schedules(
+        *ring, {*algo, k, false}, check_config);
+    std::cout << "model check: " << check.to_string() << "\n";
+    return check.ok && check.complete ? EXIT_SUCCESS : EXIT_FAILURE;
+  }
+
+  sim::TraceRecorder trace;
+  if (trace_enabled) config.extra_observers.push_back(&trace);
+  sim::WatchObserver watch(std::cout, watch_every);
+  if (watch_every > 0) config.extra_observers.push_back(&watch);
+
+  const auto result = core::run_election(*ring, config);
+
+  if (json) {
+    const bool check_true =
+        election::elects_true_leader(*algo) && report.asymmetric;
+    const auto verification =
+        core::verify_election(*ring, result, check_true);
+    core::write_json_report(std::cout, *ring, config, result, verification);
+    return verification.ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  }
+
+  if (trace_enabled) trace.print(std::cout);
+  std::cout << "outcome: " << sim::outcome_name(result.outcome) << "\n";
+  for (const auto& v : result.violations) {
+    std::cout << "violation: " << v << "\n";
+  }
+  if (const auto leader = result.leader_pid()) {
+    std::cout << "leader: p" << *leader << " (label "
+              << words::to_string(ring->label(*leader)) << ")\n";
+  }
+  std::cout << "stats: " << result.stats.summary() << "\n";
+
+  const bool check_true_leader =
+      election::elects_true_leader(*algo) && report.asymmetric;
+  const auto verification =
+      core::verify_election(*ring, result, check_true_leader);
+  if (!quiet) {
+    std::cout << "verification: " << verification.to_string() << "\n";
+  }
+  return verification.ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

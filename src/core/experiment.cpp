@@ -1,0 +1,46 @@
+#include "core/experiment.hpp"
+
+#include "support/assert.hpp"
+
+namespace hring::core {
+
+double ak_time_bound(std::size_t n, std::size_t k) {
+  return static_cast<double>((2 * k + 2) * n);
+}
+
+std::uint64_t ak_message_bound(std::size_t n, std::size_t k) {
+  const auto nn = static_cast<std::uint64_t>(n);
+  const auto kk = static_cast<std::uint64_t>(k);
+  return nn * nn * (2 * kk + 1) + nn;
+}
+
+std::size_t ak_space_bound(std::size_t n, std::size_t k, std::size_t b) {
+  return (2 * k + 1) * n * b + 2 * b + 3;
+}
+
+std::size_t bk_space_bound(std::size_t k, std::size_t b) {
+  std::size_t log_k = 0;
+  while ((std::size_t{1} << log_k) < k) ++log_k;
+  return 2 * log_k + 3 * b + 5;
+}
+
+std::size_t bk_phase_bound(std::size_t n, std::size_t k) {
+  return (k + 1) * n;
+}
+
+std::uint64_t lower_bound_steps(std::size_t n, std::size_t k) {
+  HRING_EXPECTS(k >= 2);
+  return 1 + static_cast<std::uint64_t>((k - 2) * n);
+}
+
+Measurement measure(const ring::LabeledRing& ring,
+                    const ElectionConfig& config) {
+  Measurement m;
+  m.result = run_election(ring, config);
+  const bool check_true_leader =
+      election::elects_true_leader(config.algorithm.id);
+  m.verification = verify_election(ring, m.result, check_true_leader);
+  return m;
+}
+
+}  // namespace hring::core

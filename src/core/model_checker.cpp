@@ -1,0 +1,271 @@
+#include "core/model_checker.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+
+#include "sim/process.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace hring::core {
+namespace {
+
+using sim::Message;
+using sim::Process;
+using sim::ProcessId;
+
+/// One global configuration: all local states plus all link contents.
+struct Configuration {
+  std::vector<std::unique_ptr<Process>> procs;
+  std::vector<std::deque<Message>> links;  // links[i]: p_i -> p_{i+1}
+
+  [[nodiscard]] std::size_t size() const { return procs.size(); }
+
+  [[nodiscard]] Configuration clone() const {
+    Configuration out;
+    out.procs.reserve(procs.size());
+    for (const auto& p : procs) {
+      auto copy = p->clone();
+      HRING_EXPECTS(copy != nullptr);  // algorithm must support checking
+      out.procs.push_back(std::move(copy));
+    }
+    out.links = links;
+    return out;
+  }
+
+  [[nodiscard]] const std::deque<Message>& in_link(ProcessId pid) const {
+    return links[(pid + links.size() - 1) % links.size()];
+  }
+  [[nodiscard]] std::deque<Message>& in_link(ProcessId pid) {
+    return links[(pid + links.size() - 1) % links.size()];
+  }
+
+  [[nodiscard]] const Message* head(ProcessId pid) const {
+    const auto& link = in_link(pid);
+    return link.empty() ? nullptr : &link.front();
+  }
+
+  [[nodiscard]] bool enabled(ProcessId pid) const {
+    const Process& p = *procs[pid];
+    return !p.halted() && p.enabled(head(pid));
+  }
+
+  static constexpr std::uint64_t kSeparator = 0x5E9A7A70A11C0DEULL;
+
+  [[nodiscard]] std::uint64_t hash() const {
+    std::vector<std::uint64_t> words;
+    for (const auto& p : procs) {
+      p->encode(words);
+      words.push_back(kSeparator);
+    }
+    for (const auto& link : links) {
+      for (const Message& m : link) {
+        words.push_back(static_cast<std::uint64_t>(m.kind));
+        words.push_back(m.label.value());
+      }
+      words.push_back(kSeparator);
+    }
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    for (const std::uint64_t w : words) {
+      std::uint64_t mixed = state ^ w;
+      state = support::splitmix64(mixed);
+    }
+    return state;
+  }
+};
+
+/// Context for one firing inside a Configuration.
+class CheckContext final : public sim::Context {
+ public:
+  CheckContext(Configuration& config, ProcessId pid)
+      : config_(config), pid_(pid) {}
+
+  Message consume() override {
+    auto& link = config_.in_link(pid_);
+    HRING_EXPECTS(!link.empty());
+    HRING_EXPECTS(!consumed_);
+    consumed_ = true;
+    const Message msg = link.front();
+    link.pop_front();
+    return msg;
+  }
+
+  void send(const Message& msg) override {
+    config_.links[pid_].push_back(msg);
+  }
+
+  void note_action(std::string_view) override {}
+
+ private:
+  Configuration& config_;
+  ProcessId pid_;
+  bool consumed_ = false;
+};
+
+class Checker {
+ public:
+  Checker(const ring::LabeledRing& ring,
+          const election::AlgorithmConfig& algorithm,
+          const ModelCheckConfig& config)
+      : ring_(ring), config_(config) {
+    const auto factory = election::make_factory(algorithm);
+    initial_.links.resize(ring.size());
+    for (ProcessId pid = 0; pid < ring.size(); ++pid) {
+      initial_.procs.push_back(factory(pid, ring.label(pid)));
+    }
+    if (config_.check_true_leader) {
+      expected_leader_ = ring.true_leader();
+    }
+  }
+
+  ModelCheckReport run() {
+    check_safety(initial_, "initial configuration");
+    visited_.insert(initial_.hash());
+    report_.configurations = 1;
+    explore(initial_, 0);
+    report_.complete = !budget_exhausted_;
+    return report_;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    report_.ok = false;
+    if (report_.violations.size() < 16) report_.violations.push_back(what);
+  }
+
+  /// Per-configuration safety (spec bullets 1 and 3/4 state parts).
+  void check_safety(const Configuration& config, const std::string& where) {
+    std::size_t leaders = 0;
+    for (const auto& p : config.procs) {
+      if (p->is_leader()) ++leaders;
+      if (p->halted() && !p->done()) {
+        fail("halted before done at " + where);
+      }
+      if (p->done()) {
+        if (!p->leader().has_value()) {
+          fail("done without leader label at " + where);
+          continue;
+        }
+        bool matched = false;
+        for (const auto& q : config.procs) {
+          if (q->is_leader() && q->id() == *p->leader()) matched = true;
+        }
+        if (!matched) {
+          fail("done but no leader carries the believed label at " + where);
+        }
+      }
+    }
+    if (leaders > 1) {
+      fail(std::to_string(leaders) + " simultaneous leaders at " + where);
+    }
+  }
+
+  /// Transition-local irrevocability (the fired process only; others are
+  /// untouched by construction).
+  void check_transition(const Process& before, const Process& after,
+                        const std::string& where) {
+    if (before.is_leader() && !after.is_leader()) {
+      fail("isLeader reverted at " + where);
+    }
+    if (before.done() && !after.done()) fail("done reverted at " + where);
+    if (before.halted() && !after.halted()) {
+      fail("halt reverted at " + where);
+    }
+  }
+
+  void check_terminal(const Configuration& config) {
+    ++report_.terminal_configurations;
+    const std::string where = "terminal configuration";
+    std::size_t leaders = 0;
+    ProcessId leader_pid = 0;
+    for (const auto& p : config.procs) {
+      if (p->is_leader()) {
+        ++leaders;
+        leader_pid = p->pid();
+      }
+      if (!p->halted()) fail("process not halted at " + where);
+      if (!p->done()) fail("process not done at " + where);
+    }
+    for (const auto& link : config.links) {
+      if (!link.empty()) fail("message left in flight at " + where);
+    }
+    if (leaders != 1) {
+      fail(std::to_string(leaders) + " leaders at " + where);
+      return;
+    }
+    const auto leader_label = ring_.label(leader_pid);
+    for (const auto& p : config.procs) {
+      if (!p->leader().has_value() || !(*p->leader() == leader_label)) {
+        fail("disagreement on the leader label at " + where);
+      }
+    }
+    if (expected_leader_.has_value() && leader_pid != *expected_leader_) {
+      fail("elected p" + std::to_string(leader_pid) +
+           " but the true leader is p" + std::to_string(*expected_leader_));
+    }
+  }
+
+  void explore(const Configuration& config, std::size_t depth) {
+    report_.max_depth = std::max(report_.max_depth, depth);
+    if (budget_exhausted_) return;
+
+    bool any_enabled = false;
+    for (ProcessId pid = 0; pid < config.size(); ++pid) {
+      if (!config.enabled(pid)) continue;
+      any_enabled = true;
+      if (visited_.size() >= config_.max_configurations) {
+        budget_exhausted_ = true;
+        return;
+      }
+      Configuration next = config.clone();
+      {
+        CheckContext ctx(next, pid);
+        const Message* head = next.head(pid);
+        next.procs[pid]->fire(head, ctx);
+      }
+      ++report_.transitions;
+      const std::uint64_t h = next.hash();
+      if (!visited_.insert(h).second) continue;  // configuration seen
+      ++report_.configurations;
+      check_transition(*config.procs[pid], *next.procs[pid],
+                       "depth " + std::to_string(depth + 1));
+      check_safety(next, "depth " + std::to_string(depth + 1));
+      explore(next, depth + 1);
+    }
+    if (!any_enabled) check_terminal(config);
+  }
+
+  const ring::LabeledRing& ring_;
+  ModelCheckConfig config_;
+  Configuration initial_;
+  std::optional<ring::ProcessIndex> expected_leader_;
+  std::unordered_set<std::uint64_t> visited_;
+  ModelCheckReport report_;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace
+
+std::string ModelCheckReport::to_string() const {
+  std::string out = ok ? "OK" : "VIOLATION";
+  out += complete ? " (exhaustive)" : " (budget exhausted)";
+  out += ": " + std::to_string(configurations) + " configurations, " +
+         std::to_string(transitions) + " transitions, " +
+         std::to_string(terminal_configurations) + " terminal, depth " +
+         std::to_string(max_depth);
+  for (const auto& v : violations) out += "\n  - " + v;
+  return out;
+}
+
+ModelCheckReport check_all_schedules(
+    const ring::LabeledRing& ring,
+    const election::AlgorithmConfig& algorithm,
+    const ModelCheckConfig& config) {
+  Checker checker(ring, algorithm, config);
+  return checker.run();
+}
+
+}  // namespace hring::core

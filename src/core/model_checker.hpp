@@ -1,0 +1,64 @@
+// Exhaustive schedule exploration for small rings.
+//
+// The randomized daemons sample the space of asynchronous executions;
+// this checker *enumerates* it. Starting from the initial configuration
+// it explores every interleaving of single-process firings, deduplicating
+// configurations by a hash of the complete global state (all local states
+// plus all link contents), and checks on every reachable configuration:
+//
+//   * at most one process has isLeader (spec bullet 1);
+//   * isLeader and done never revert, halting implies done (bullets 1/3/4);
+//   * done implies a current leader carries the believed label (bullet 3);
+//   * every terminal configuration is clean (all halted, links empty) and
+//     elects the true leader with global agreement (bullet 2).
+//
+// Single-firing interleavings suffice: a §II step executes a set of
+// enabled processes, but distinct processes touch disjoint state (a
+// process pops only its own in-link head, appends only to its own
+// out-link tail), so every subset step equals some sequence of single
+// firings and reaches the same configuration — any safety violation a
+// subset step could produce is visible at the end of that sequence.
+//
+// The state space of a terminating algorithm is finite (each message is
+// received once), so exploration terminates; `max_configurations` bounds
+// the search anyway and the report says whether it was exhaustive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "election/algorithm.hpp"
+#include "ring/labeled_ring.hpp"
+
+namespace hring::core {
+
+struct ModelCheckConfig {
+  /// Bound on distinct configurations visited before giving up.
+  std::uint64_t max_configurations = 1'000'000;
+  /// Require terminal configurations to elect ring.true_leader().
+  bool check_true_leader = true;
+};
+
+struct ModelCheckReport {
+  /// True when the whole reachable configuration space was explored.
+  bool complete = false;
+  /// True when no violation was found (in the explored part).
+  bool ok = true;
+  std::vector<std::string> violations;
+  std::uint64_t configurations = 0;  // distinct configurations visited
+  std::uint64_t transitions = 0;     // firings explored
+  std::uint64_t terminal_configurations = 0;
+  std::size_t max_depth = 0;  // longest execution prefix explored
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Explores every asynchronous schedule of `algorithm` on `ring`. The
+/// algorithm's processes must support clone() (A_k and B_k do).
+[[nodiscard]] ModelCheckReport check_all_schedules(
+    const ring::LabeledRing& ring,
+    const election::AlgorithmConfig& algorithm,
+    const ModelCheckConfig& config = {});
+
+}  // namespace hring::core

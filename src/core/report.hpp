@@ -1,0 +1,22 @@
+// JSON serialization of election results, for plotting pipelines and
+// external tooling (the CLI's --json).
+#pragma once
+
+#include <iosfwd>
+
+#include "core/election_driver.hpp"
+#include "core/verification.hpp"
+#include "ring/labeled_ring.hpp"
+#include "sim/run_result.hpp"
+
+namespace hring::core {
+
+/// Writes one run as a JSON object:
+/// { "ring": {...}, "config": {...}, "outcome": "...", "stats": {...},
+///   "processes": [...], "violations": [...], "verification": {...} }
+void write_json_report(std::ostream& out, const ring::LabeledRing& ring,
+                       const ElectionConfig& config,
+                       const sim::RunResult& result,
+                       const VerificationReport& verification);
+
+}  // namespace hring::core

@@ -1,0 +1,54 @@
+// Ringspec: a small text format describing an experiment — ring labels,
+// algorithm, daemon, engine — so scenarios can be versioned as files and
+// replayed exactly (CLI: --spec).
+//
+//   # three homonym servers, B_2 under the convoy daemon
+//   ring   = 1,2,2
+//   algo   = Bk
+//   k      = 2
+//   engine = step
+//   sched  = convoy
+//   seed   = 7
+//
+// Grammar: one `key = value` per line; `#` starts a comment; unknown keys
+// and malformed values are errors (with line numbers). `ring` is
+// required; everything else defaults as in ElectionConfig.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/election_driver.hpp"
+#include "ring/labeled_ring.hpp"
+
+namespace hring::core {
+
+struct RingSpec {
+  ring::LabeledRing ring;
+  ElectionConfig config;
+};
+
+struct RingSpecError {
+  std::size_t line = 0;  // 1-based; 0 for file-level errors
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    if (line == 0) return message;
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+/// Parses a spec from a stream. Returns the spec or the first error.
+/// (No std::expected on this toolchain; exactly one of the optionals is
+/// engaged.)
+struct RingSpecResult {
+  std::optional<RingSpec> spec;
+  std::optional<RingSpecError> error;
+};
+
+[[nodiscard]] RingSpecResult parse_ringspec(std::istream& in);
+[[nodiscard]] RingSpecResult parse_ringspec(std::string_view text);
+
+}  // namespace hring::core

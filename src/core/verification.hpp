@@ -1,0 +1,39 @@
+// Terminal-state verifier for the §II leader-election specification.
+//
+// The SpecMonitor checks the safety bullets during the run; this verifier
+// checks the terminal configuration: exactly one leader, every process
+// done, halted and agreeing on the leader's label (bullet 2), all links
+// drained — and, for the paper's algorithms, that the elected process is
+// the *true leader* (the Lyndon-word process of §IV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "election/algorithm.hpp"
+#include "ring/labeled_ring.hpp"
+#include "sim/run_result.hpp"
+
+namespace hring::core {
+
+struct VerificationReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string what) {
+    ok = false;
+    errors.push_back(std::move(what));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Verifies `result` against the specification for `ring`.
+/// `check_true_leader` additionally requires the elected process to be
+/// ring.true_leader() — pass elects_true_leader(algorithm) (and only for
+/// asymmetric rings).
+[[nodiscard]] VerificationReport verify_election(
+    const ring::LabeledRing& ring, const sim::RunResult& result,
+    bool check_true_leader);
+
+}  // namespace hring::core

@@ -1,0 +1,134 @@
+#include "election/ak.hpp"
+
+#include <memory>
+
+#include "support/assert.hpp"
+#include "words/lyndon.hpp"
+
+namespace hring::election {
+
+bool leader_predicate(const words::LabelSequence& sigma, std::size_t k) {
+  HRING_EXPECTS(k >= 1);
+  if (sigma.empty()) return false;
+  std::map<Label::rep_type, std::size_t> counts;
+  std::size_t max_count = 0;
+  for (const Label l : sigma) {
+    max_count = std::max(max_count, ++counts[l.value()]);
+  }
+  if (max_count < 2 * k + 1) return false;
+  return words::is_lyndon(words::srp(sigma));
+}
+
+AkProcess::AkProcess(ProcessId pid, Label id, std::size_t k)
+    : Process(pid, id), k_(k) {
+  HRING_EXPECTS(k >= 1);
+}
+
+bool AkProcess::enabled(const Message* head) const {
+  // A1 is the unique no-reception action; afterwards every incoming
+  // message matches some guard: tokens match A2/A3 (not leader) or A5
+  // (leader), ⟨FINISH⟩ matches A4 (not leader) or A6 (leader).
+  if (init_) return true;
+  return head != nullptr;
+}
+
+bool AkProcess::append_and_test(Label x) {
+  string_.push_back(x);
+  max_count_ = std::max(max_count_, ++counts_[x.value()]);
+  if (max_count_ < 2 * k_ + 1) return false;
+  // srp(string) is the prefix of length = smallest period; the Lyndon
+  // check runs only once the copy threshold holds (rare), keeping the
+  // per-message cost amortized O(1) before the decision point.
+  const std::size_t period = string_.period();
+  const words::LabelSequence prefix(
+      string_.sequence().begin(),
+      string_.sequence().begin() + static_cast<std::ptrdiff_t>(period));
+  return words::is_lyndon(prefix);
+}
+
+void AkProcess::fire(const Message* head, Context& ctx) {
+  if (init_) {
+    // A1: p.INIT <- FALSE, p.string <- p.id, send ⟨p.id⟩.
+    ctx.note_action("A1");
+    init_ = false;
+    const bool elected_immediately = append_and_test(id());
+    HRING_ASSERT(!elected_immediately);  // needs 2k+1 >= 3 copies
+    ctx.send(Message::token(id()));
+    return;
+  }
+  HRING_EXPECTS(head != nullptr);
+  if (head->kind == sim::MsgKind::kToken) {
+    const Message msg = ctx.consume();
+    if (is_leader()) {
+      // A5: the leader swallows circulating tokens.
+      ctx.note_action("A5");
+      return;
+    }
+    if (!append_and_test(msg.label)) {
+      // A2: grow the string, forward the token.
+      ctx.note_action("A2");
+      ctx.send(Message::token(msg.label));
+    } else {
+      // A3: Leader(p.string . x) holds — elect self, flood ⟨FINISH⟩.
+      ctx.note_action("A3");
+      declare_leader();
+      set_leader_label(id());
+      set_done();
+      ctx.send(Message::finish());
+    }
+    return;
+  }
+  HRING_EXPECTS(head->kind == sim::MsgKind::kFinish);
+  ctx.consume();
+  if (!is_leader()) {
+    // A4: learn the leader's label from the grown string and halt.
+    ctx.note_action("A4");
+    const words::LabelSequence prefix = words::srp(string_.sequence());
+    set_leader_label(words::lyndon_rotation_first(prefix));
+    set_done();
+    ctx.send(Message::finish());
+    halt_self();
+  } else {
+    // A6: ⟨FINISH⟩ returned to the leader — the execution is over.
+    ctx.note_action("A6");
+    halt_self();
+  }
+}
+
+std::size_t AkProcess::space_bits(std::size_t label_bits) const {
+  // Paper accounting: |string| labels + p.id + p.leader (2 labels) +
+  // 3 Booleans (INIT, isLeader, done). The border array is excluded: it is
+  // a recomputable accelerator (see header).
+  return (string_.size() + 2) * label_bits + 3;
+}
+
+std::string AkProcess::debug_state() const {
+  std::string out = init_ ? "INIT" : (is_leader() ? "LEADER" : "GROW");
+  out += " |string|=" + std::to_string(string_.size());
+  if (done()) out += " done";
+  if (leader().has_value()) {
+    out += " leader=" + words::to_string(*leader());
+  }
+  return out;
+}
+
+std::unique_ptr<Process> AkProcess::clone() const {
+  return std::unique_ptr<Process>(new AkProcess(*this));
+}
+
+void AkProcess::encode(std::vector<std::uint64_t>& out) const {
+  Process::encode(out);
+  out.push_back(init_ ? 1 : 0);
+  out.push_back(string_.size());
+  for (const Label l : string_.sequence()) out.push_back(l.value());
+  // counts_/max_count_/borders are functions of the string: no need to
+  // encode them separately.
+}
+
+sim::ProcessFactory AkProcess::factory(std::size_t k) {
+  return [k](ProcessId pid, Label id) {
+    return std::make_unique<AkProcess>(pid, id, k);
+  };
+}
+
+}  // namespace hring::election

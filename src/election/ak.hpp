@@ -1,0 +1,74 @@
+// Algorithm A_k (§IV, Table 1): time-optimal leader election for A ∩ K_k.
+//
+// Every process initiates a token carrying its label; tokens circulate
+// forever during the string-growth phase, and each process appends every
+// received label to its `string`, a growing prefix of LLabels(p). By
+// Lemma 6, once the string holds 2k+1 copies of some label it determines
+// the whole ring: srp(string) = LLabels(p)^n. The process whose srp is a
+// Lyndon word — the true leader — elects itself (action A3) and floods
+// ⟨FINISH⟩; everyone else learns the leader's label as LW(srp(string))[1]
+// (action A4) and halts, while the leader swallows the remaining tokens
+// (A5) and halts when ⟨FINISH⟩ returns (A6).
+//
+// Bounds (Theorem 2): time ≤ (2k+2)n, messages ≤ n²(2k+1) + n, space per
+// process ≤ (2k+1)·n·b + 2b + 3 bits.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+#include "words/periodicity.hpp"
+
+namespace hring::election {
+
+using sim::Context;
+using sim::Label;
+using sim::Message;
+using sim::Process;
+using sim::ProcessId;
+
+/// The paper's Leader(σ) predicate: σ contains at least 2k+1 copies of
+/// some label and srp(σ) = LW(srp(σ)) (i.e. srp(σ) is a Lyndon word).
+/// Exposed standalone for unit tests; AkProcess evaluates it incrementally.
+[[nodiscard]] bool leader_predicate(const words::LabelSequence& sigma,
+                                    std::size_t k);
+
+class AkProcess final : public Process {
+ public:
+  /// Requires k >= 1: the multiplicity bound the class A ∩ K_k promises.
+  AkProcess(ProcessId pid, Label id, std::size_t k);
+
+  [[nodiscard]] bool enabled(const Message* head) const override;
+  void fire(const Message* head, Context& ctx) override;
+  [[nodiscard]] std::size_t space_bits(std::size_t label_bits) const override;
+  [[nodiscard]] std::string debug_state() const override;
+  [[nodiscard]] std::unique_ptr<Process> clone() const override;
+  void encode(std::vector<std::uint64_t>& out) const override;
+
+  /// Current contents of p.string (a prefix of LLabels(p)).
+  [[nodiscard]] const words::LabelSequence& grown_string() const {
+    return string_.sequence();
+  }
+
+  /// Factory for the engines: every process runs A_k with the same k.
+  [[nodiscard]] static sim::ProcessFactory factory(std::size_t k);
+
+ private:
+  /// Appends x to string and returns Leader(string) for the new string —
+  /// exactly Leader(p.string . x) of the guards of A2/A3.
+  bool append_and_test(Label x);
+
+  std::size_t k_;
+  bool init_ = true;
+  /// p.string plus its incrementally-maintained border array (the border
+  /// array is an accelerator, not algorithm state: srp could be recomputed
+  /// from the string at every step with identical behaviour).
+  words::IncrementalPeriod string_;
+  /// Occurrence count per label, for the 2k+1 threshold.
+  std::map<Label::rep_type, std::size_t> counts_;
+  std::size_t max_count_ = 0;
+};
+
+}  // namespace hring::election

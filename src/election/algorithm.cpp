@@ -1,0 +1,79 @@
+#include "election/algorithm.hpp"
+
+#include <vector>
+
+#include "election/ak.hpp"
+#include "election/bk.hpp"
+#include "election/chang_roberts.hpp"
+#include "election/lelann.hpp"
+#include "election/peterson.hpp"
+#include "ring/classes.hpp"
+#include "support/assert.hpp"
+
+namespace hring::election {
+
+const char* algorithm_name(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kAk:
+      return "Ak";
+    case AlgorithmId::kBk:
+      return "Bk";
+    case AlgorithmId::kChangRoberts:
+      return "ChangRoberts";
+    case AlgorithmId::kLeLann:
+      return "LeLann";
+    case AlgorithmId::kPeterson:
+      return "Peterson";
+  }
+  HRING_ASSERT(false);
+}
+
+std::optional<AlgorithmId> algorithm_from_name(std::string_view name) {
+  for (const AlgorithmId id : all_algorithms()) {
+    if (name == algorithm_name(id)) return id;
+  }
+  return std::nullopt;
+}
+
+const std::vector<AlgorithmId>& all_algorithms() {
+  static const std::vector<AlgorithmId> kAll = {
+      AlgorithmId::kAk, AlgorithmId::kBk, AlgorithmId::kChangRoberts,
+      AlgorithmId::kLeLann, AlgorithmId::kPeterson};
+  return kAll;
+}
+
+sim::ProcessFactory make_factory(const AlgorithmConfig& config) {
+  switch (config.id) {
+    case AlgorithmId::kAk:
+      return AkProcess::factory(config.k);
+    case AlgorithmId::kBk:
+      return BkProcess::factory(config.k, config.record_history);
+    case AlgorithmId::kChangRoberts:
+      return ChangRobertsProcess::factory();
+    case AlgorithmId::kLeLann:
+      return LeLannProcess::factory();
+    case AlgorithmId::kPeterson:
+      return PetersonProcess::factory();
+  }
+  HRING_ASSERT(false);
+}
+
+bool ring_in_algorithm_class(const AlgorithmConfig& config,
+                             const ring::LabeledRing& ring) {
+  switch (config.id) {
+    case AlgorithmId::kAk:
+    case AlgorithmId::kBk:
+      return ring::in_class_A(ring) && ring::in_class_Kk(ring, config.k);
+    case AlgorithmId::kChangRoberts:
+    case AlgorithmId::kLeLann:
+    case AlgorithmId::kPeterson:
+      return ring::in_class_K1(ring);
+  }
+  HRING_ASSERT(false);
+}
+
+bool elects_true_leader(AlgorithmId id) {
+  return id == AlgorithmId::kAk || id == AlgorithmId::kBk;
+}
+
+}  // namespace hring::election

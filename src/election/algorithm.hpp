@@ -1,0 +1,57 @@
+// Algorithm registry: uniform naming, construction and applicability rules
+// for every election algorithm in the library.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ring/labeled_ring.hpp"
+#include "sim/engine.hpp"
+
+namespace hring::election {
+
+enum class AlgorithmId : std::uint8_t {
+  kAk,            // §IV — A ∩ K_k, time-optimal
+  kBk,            // §V  — A ∩ K_k, space-frugal
+  kChangRoberts,  // baseline — K_1
+  kLeLann,        // baseline — K_1
+  kPeterson,      // baseline — K_1
+};
+
+/// Stable short name: "Ak", "Bk", "ChangRoberts", "LeLann", "Peterson".
+[[nodiscard]] const char* algorithm_name(AlgorithmId id);
+
+/// Inverse of algorithm_name (case-sensitive).
+[[nodiscard]] std::optional<AlgorithmId> algorithm_from_name(
+    std::string_view name);
+
+/// All registered algorithm ids, for sweeps.
+[[nodiscard]] const std::vector<AlgorithmId>& all_algorithms();
+
+/// Parameters selecting a concrete algorithm instance. `k` is the
+/// multiplicity bound known a priori by A_k/B_k (ignored by the
+/// baselines). `record_history` enables B_k's phase log (E5).
+struct AlgorithmConfig {
+  AlgorithmId id = AlgorithmId::kAk;
+  std::size_t k = 1;
+  bool record_history = false;
+};
+
+/// Process factory for the configured algorithm.
+[[nodiscard]] sim::ProcessFactory make_factory(const AlgorithmConfig& config);
+
+/// True iff the algorithm's correctness class contains `ring` when
+/// instantiated with config.k: A ∩ K_k for A_k/B_k, K_1 for the baselines.
+/// Running an algorithm outside its class is allowed (that is experiment
+/// E2) but nothing is guaranteed.
+[[nodiscard]] bool ring_in_algorithm_class(const AlgorithmConfig& config,
+                                           const ring::LabeledRing& ring);
+
+/// True for the paper's algorithms, which elect the *true leader* (the
+/// Lyndon-word process). Baselines elect by other rules.
+[[nodiscard]] bool elects_true_leader(AlgorithmId id);
+
+}  // namespace hring::election

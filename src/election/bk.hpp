@@ -1,0 +1,98 @@
+// Algorithm B_k (§V, Table 2, Figure 2): space-frugal leader election for
+// A ∩ K_k.
+//
+// B_k computes the lexicographic minimum of the LLabels sequences one
+// position per phase. In phase i every still-active process p holds
+// p.guest = LLabels(p)[i]; guests circulate among the active processes, an
+// active process that sees a smaller guest turns passive (B4), and a
+// process that has seen its own guest k times knows the phase is over (B5)
+// and triggers the ⟨PHASE_SHIFT⟩ barrier, which shifts every guest one
+// step clockwise (B6/B8). A process whose guest has been its own label
+// k+1 times (p.outer) has survived more than n phases and is the true
+// leader (B9); ⟨FINISH, id⟩ then circulates and everyone halts (B10/B11).
+//
+// Bounds (Theorem 4): time O(k²n²), messages O(k²n²), space per process
+// 2⌈log k⌉ + 3b + 5 bits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace hring::election {
+
+using sim::Context;
+using sim::Label;
+using sim::Message;
+using sim::Process;
+using sim::ProcessId;
+
+enum class BkState : std::uint8_t {
+  kInit,
+  kCompute,
+  kShift,
+  kPassive,
+  kWin,
+  kHalt,
+};
+
+[[nodiscard]] const char* bk_state_name(BkState state);
+
+class BkProcess final : public Process {
+ public:
+  /// One row of the phase history (Figure 1 reproduction): the state of
+  /// this process at the start of phase `phase`.
+  struct PhaseRecord {
+    std::size_t phase = 0;
+    Label guest{};
+    /// True when the process enters the phase still competing (COMPUTE or
+    /// WIN), false when it enters passive.
+    bool active = false;
+  };
+
+  /// Requires k >= 1. The paper states B_k for k >= 2; k = 1 also works
+  /// (then U* ∩ K_1 = K_1) and is exercised by tests.
+  /// `record_history` enables the per-phase log used by E5; it is
+  /// instrumentation and never part of the space accounting.
+  BkProcess(ProcessId pid, Label id, std::size_t k,
+            bool record_history = false);
+
+  [[nodiscard]] bool enabled(const Message* head) const override;
+  void fire(const Message* head, Context& ctx) override;
+  [[nodiscard]] std::size_t space_bits(std::size_t label_bits) const override;
+  [[nodiscard]] std::string debug_state() const override;
+  [[nodiscard]] std::unique_ptr<Process> clone() const override;
+  void encode(std::vector<std::uint64_t>& out) const override;
+
+  [[nodiscard]] BkState state() const { return state_; }
+  [[nodiscard]] Label guest() const { return guest_; }
+  [[nodiscard]] std::size_t inner() const { return inner_; }
+  [[nodiscard]] std::size_t outer() const { return outer_; }
+  /// Phase the process is currently in (1-based; 0 before B1 fires).
+  [[nodiscard]] std::size_t phase() const { return phase_; }
+  [[nodiscard]] const std::vector<PhaseRecord>& history() const {
+    return history_;
+  }
+
+  [[nodiscard]] static sim::ProcessFactory factory(std::size_t k,
+                                                   bool record_history =
+                                                       false);
+
+ private:
+  void enter_phase(Label new_guest, bool active);
+
+  std::size_t k_;
+  BkState state_ = BkState::kInit;
+  Label guest_{};
+  std::size_t inner_ = 1;  // occurrences of guest seen this phase
+  std::size_t outer_ = 1;  // phases whose guest was the own label
+
+  // Instrumentation (excluded from space accounting):
+  std::size_t phase_ = 0;
+  bool record_history_;
+  std::vector<PhaseRecord> history_;
+};
+
+}  // namespace hring::election

@@ -1,0 +1,81 @@
+#include "election/chang_roberts.hpp"
+
+#include <memory>
+
+#include "support/assert.hpp"
+
+namespace hring::election {
+
+bool ChangRobertsProcess::enabled(const Message* head) const {
+  if (init_) return true;
+  return head != nullptr;
+}
+
+void ChangRobertsProcess::fire(const Message* head, Context& ctx) {
+  if (init_) {
+    ctx.note_action("CR1");
+    init_ = false;
+    ctx.send(Message::token(id()));
+    return;
+  }
+  HRING_EXPECTS(head != nullptr);
+  switch (head->kind) {
+    case sim::MsgKind::kToken: {
+      const Label x = ctx.consume().label;
+      if (is_leader()) {
+        // Leftover candidates are swallowed by the elected leader.
+        ctx.note_action("CR-drain");
+        return;
+      }
+      if (x > id()) {
+        ctx.note_action("CR-forward");
+        ctx.send(Message::token(x));
+      } else if (x == id()) {
+        // Our candidate survived a full loop: all labels are smaller.
+        ctx.note_action("CR-elect");
+        declare_leader();
+        set_leader_label(id());
+        set_done();
+        ctx.send(Message::finish_label(id()));
+      } else {
+        ctx.note_action("CR-swallow");
+      }
+      return;
+    }
+    case sim::MsgKind::kFinishLabel: {
+      const Label x = ctx.consume().label;
+      if (is_leader()) {
+        ctx.note_action("CR-halt");
+        halt_self();
+      } else {
+        ctx.note_action("CR-learn");
+        set_leader_label(x);
+        set_done();
+        ctx.send(Message::finish_label(x));
+        halt_self();
+      }
+      return;
+    }
+    default:
+      HRING_ASSERT(false);  // no other kinds are ever sent
+  }
+}
+
+std::size_t ChangRobertsProcess::space_bits(std::size_t label_bits) const {
+  // id + leader labels, plus INIT/isLeader/done Booleans.
+  return 2 * label_bits + 3;
+}
+
+std::string ChangRobertsProcess::debug_state() const {
+  std::string out = init_ ? "INIT" : (is_leader() ? "LEADER" : "RELAY");
+  if (done()) out += " done";
+  return out;
+}
+
+sim::ProcessFactory ChangRobertsProcess::factory() {
+  return [](ProcessId pid, Label id) {
+    return std::make_unique<ChangRobertsProcess>(pid, id);
+  };
+}
+
+}  // namespace hring::election

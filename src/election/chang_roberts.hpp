@@ -1,0 +1,37 @@
+// Chang–Roberts (1979): the classical leader election for unidirectional
+// rings with *unique* identifiers (class K_1 ⊂ U* ∩ K_k).
+//
+// Every process launches a candidate token with its label; a process
+// forwards tokens larger than its own label, swallows smaller ones, and
+// elects itself when its own label returns. Average O(n log n) messages,
+// worst case O(n²). Serves as the identified-ring baseline of experiment
+// E9 (and stands in for the [10] comparison point, see DESIGN.md).
+#pragma once
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace hring::election {
+
+using sim::Context;
+using sim::Label;
+using sim::Message;
+using sim::Process;
+using sim::ProcessId;
+
+class ChangRobertsProcess final : public Process {
+ public:
+  ChangRobertsProcess(ProcessId pid, Label id) : Process(pid, id) {}
+
+  [[nodiscard]] bool enabled(const Message* head) const override;
+  void fire(const Message* head, Context& ctx) override;
+  [[nodiscard]] std::size_t space_bits(std::size_t label_bits) const override;
+  [[nodiscard]] std::string debug_state() const override;
+
+  [[nodiscard]] static sim::ProcessFactory factory();
+
+ private:
+  bool init_ = true;
+};
+
+}  // namespace hring::election

@@ -1,0 +1,83 @@
+#include "election/lelann.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "support/assert.hpp"
+
+namespace hring::election {
+
+bool LeLannProcess::enabled(const Message* head) const {
+  if (init_) return true;
+  return head != nullptr;
+}
+
+void LeLannProcess::fire(const Message* head, Context& ctx) {
+  if (init_) {
+    ctx.note_action("LL1");
+    init_ = false;
+    ctx.send(Message::token(id()));
+    return;
+  }
+  HRING_EXPECTS(head != nullptr);
+  switch (head->kind) {
+    case sim::MsgKind::kToken: {
+      const Label x = ctx.consume().label;
+      best_ = std::max(best_, x);
+      if (x == id()) {
+        // Our token completed the loop: every label has passed us (FIFO
+        // argument, see header). Elect the maximum.
+        if (best_ == id()) {
+          ctx.note_action("LL-elect");
+          declare_leader();
+          set_leader_label(id());
+          set_done();
+          ctx.send(Message::finish_label(id()));
+        } else {
+          // Somebody larger exists; wait for their announcement.
+          ctx.note_action("LL-complete");
+        }
+      } else {
+        ctx.note_action("LL-forward");
+        ctx.send(Message::token(x));
+      }
+      return;
+    }
+    case sim::MsgKind::kFinishLabel: {
+      const Label x = ctx.consume().label;
+      if (is_leader()) {
+        ctx.note_action("LL-halt");
+        halt_self();
+      } else {
+        ctx.note_action("LL-learn");
+        set_leader_label(x);
+        set_done();
+        ctx.send(Message::finish_label(x));
+        halt_self();
+      }
+      return;
+    }
+    default:
+      HRING_ASSERT(false);  // no other kinds are ever sent
+  }
+}
+
+std::size_t LeLannProcess::space_bits(std::size_t label_bits) const {
+  // id + best + leader labels, plus INIT/isLeader/done Booleans.
+  return 3 * label_bits + 3;
+}
+
+std::string LeLannProcess::debug_state() const {
+  std::string out = init_ ? "INIT" : (is_leader() ? "LEADER" : "RELAY");
+  out += " best=" + words::to_string(best_);
+  if (done()) out += " done";
+  return out;
+}
+
+sim::ProcessFactory LeLannProcess::factory() {
+  return [](ProcessId pid, Label id) {
+    return std::make_unique<LeLannProcess>(pid, id);
+  };
+}
+
+}  // namespace hring::election

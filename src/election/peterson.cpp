@@ -1,0 +1,141 @@
+#include "election/peterson.hpp"
+
+#include <memory>
+
+#include "support/assert.hpp"
+
+namespace hring::election {
+
+bool PetersonProcess::enabled(const Message* head) const {
+  switch (mode_) {
+    case Mode::kInit:
+      return true;
+    case Mode::kActive:
+      // Probes alternate strictly per phase; announcements never reach an
+      // active process before it wins or relays.
+      return head != nullptr &&
+             head->kind == (expecting_second_ ? sim::MsgKind::kProbeTwo
+                                              : sim::MsgKind::kProbeOne);
+    case Mode::kRelay:
+      return head != nullptr;
+    case Mode::kWon:
+      return head != nullptr &&
+             head->kind == sim::MsgKind::kFinishLabel;
+    case Mode::kHalted:
+      return false;
+  }
+  HRING_ASSERT(false);
+}
+
+void PetersonProcess::fire(const Message* head, Context& ctx) {
+  if (mode_ == Mode::kInit) {
+    ctx.note_action("P-start");
+    mode_ = Mode::kActive;
+    expecting_second_ = false;
+    ctx.send(Message::probe_one(tid_));
+    return;
+  }
+  HRING_EXPECTS(head != nullptr);
+
+  if (mode_ == Mode::kActive) {
+    if (!expecting_second_) {
+      HRING_EXPECTS(head->kind == sim::MsgKind::kProbeOne);
+      ntid_ = ctx.consume().label;
+      if (ntid_ == tid_) {
+        // Our probe circled the whole ring: we are the only active
+        // process left. Elect ourselves and announce our own label.
+        ctx.note_action("P-elect");
+        mode_ = Mode::kWon;
+        declare_leader();
+        set_leader_label(id());
+        set_done();
+        ctx.send(Message::finish_label(id()));
+      } else {
+        ctx.note_action("P-probe2");
+        expecting_second_ = true;
+        ctx.send(Message::probe_two(ntid_));
+      }
+      return;
+    }
+    HRING_EXPECTS(head->kind == sim::MsgKind::kProbeTwo);
+    const Label nntid = ctx.consume().label;
+    if (tid_ < ntid_ && nntid < ntid_) {
+      // ntid is a local maximum among the active tids: survive with it.
+      ctx.note_action("P-survive");
+      tid_ = ntid_;
+      expecting_second_ = false;
+      ctx.send(Message::probe_one(tid_));
+    } else {
+      ctx.note_action("P-demote");
+      mode_ = Mode::kRelay;
+    }
+    return;
+  }
+
+  if (mode_ == Mode::kRelay) {
+    const Message msg = ctx.consume();
+    switch (msg.kind) {
+      case sim::MsgKind::kProbeOne:
+      case sim::MsgKind::kProbeTwo:
+        ctx.note_action("P-relay");
+        ctx.send(msg);
+        return;
+      case sim::MsgKind::kFinishLabel:
+        ctx.note_action("P-learn");
+        set_leader_label(msg.label);
+        set_done();
+        ctx.send(msg);
+        mode_ = Mode::kHalted;
+        halt_self();
+        return;
+      default:
+        HRING_ASSERT(false);  // no other kinds are ever sent
+    }
+  }
+
+  HRING_EXPECTS(mode_ == Mode::kWon);
+  HRING_EXPECTS(head->kind == sim::MsgKind::kFinishLabel);
+  ctx.consume();
+  ctx.note_action("P-halt");
+  mode_ = Mode::kHalted;
+  halt_self();
+}
+
+std::size_t PetersonProcess::space_bits(std::size_t label_bits) const {
+  // id + tid + ntid + leader labels, a 5-valued mode (3 bits), the
+  // expecting flag, and isLeader/done.
+  return 4 * label_bits + 3 + 1 + 2;
+}
+
+std::string PetersonProcess::debug_state() const {
+  const char* mode = "?";
+  switch (mode_) {
+    case Mode::kInit:
+      mode = "INIT";
+      break;
+    case Mode::kActive:
+      mode = "ACTIVE";
+      break;
+    case Mode::kRelay:
+      mode = "RELAY";
+      break;
+    case Mode::kWon:
+      mode = "WON";
+      break;
+    case Mode::kHalted:
+      mode = "HALTED";
+      break;
+  }
+  std::string out = mode;
+  out += " tid=" + words::to_string(tid_);
+  if (done()) out += " done";
+  return out;
+}
+
+sim::ProcessFactory PetersonProcess::factory() {
+  return [](ProcessId pid, Label id) {
+    return std::make_unique<PetersonProcess>(pid, id);
+  };
+}
+
+}  // namespace hring::election

@@ -1,0 +1,45 @@
+// Peterson (1982): O(n log n)-message leader election for unidirectional
+// rings with unique identifiers (class K_1).
+//
+// Active processes carry a temporary identifier tid. In each phase an
+// active process sends its tid (probe 1), learns the tid of the nearest
+// active process to its left (ntid), relays it (probe 2), and learns the
+// tid two active hops away (nntid). It survives the phase — adopting
+// ntid — exactly when ntid > max(tid, nntid); otherwise it becomes a
+// relay. At least half of the active processes drop each phase. A process
+// receiving a probe equal to its own tid is the last active one and elects
+// itself. The O(n log n) baseline of experiment E9.
+#pragma once
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace hring::election {
+
+using sim::Context;
+using sim::Label;
+using sim::Message;
+using sim::Process;
+using sim::ProcessId;
+
+class PetersonProcess final : public Process {
+ public:
+  PetersonProcess(ProcessId pid, Label id) : Process(pid, id), tid_(id) {}
+
+  [[nodiscard]] bool enabled(const Message* head) const override;
+  void fire(const Message* head, Context& ctx) override;
+  [[nodiscard]] std::size_t space_bits(std::size_t label_bits) const override;
+  [[nodiscard]] std::string debug_state() const override;
+
+  [[nodiscard]] static sim::ProcessFactory factory();
+
+ private:
+  enum class Mode : std::uint8_t { kInit, kActive, kRelay, kWon, kHalted };
+
+  bool expecting_second_ = false;  // active: waiting for probe 2
+  Mode mode_ = Mode::kInit;
+  Label tid_;   // temporary identifier carried while active
+  Label ntid_;  // tid of the nearest active process to the left
+};
+
+}  // namespace hring::election

@@ -1,0 +1,45 @@
+// Ring network classes of §II: K_k (bounded multiplicity), A (asymmetric),
+// U* (at least one unique label), and their intersections.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ring/labeled_ring.hpp"
+
+namespace hring::ring {
+
+/// R ∈ K_k: no label occurs more than k times. Requires k >= 1.
+[[nodiscard]] bool in_class_Kk(const LabeledRing& ring, std::size_t k);
+
+/// R ∈ A: no non-trivial rotational symmetry of the label sequence.
+[[nodiscard]] bool in_class_A(const LabeledRing& ring);
+
+/// R ∈ U*: at least one label of R is unique. (U* ⊆ A.)
+[[nodiscard]] bool in_class_Ustar(const LabeledRing& ring);
+
+/// R ∈ K_1: all labels distinct (the fully identified model).
+[[nodiscard]] bool in_class_K1(const LabeledRing& ring);
+
+/// Labels of multiplicity exactly one, in increasing order.
+[[nodiscard]] std::vector<Label> unique_labels(const LabeledRing& ring);
+
+/// Structured membership report, used by the CLI and the verifier's error
+/// messages.
+struct RingClassReport {
+  std::size_t n = 0;
+  std::size_t distinct_labels = 0;
+  std::size_t max_multiplicity = 0;
+  bool asymmetric = false;
+  bool has_unique_label = false;
+
+  /// Smallest k with R ∈ K_k (== max_multiplicity).
+  [[nodiscard]] std::size_t min_k() const { return max_multiplicity; }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] RingClassReport classify(const LabeledRing& ring);
+
+}  // namespace hring::ring

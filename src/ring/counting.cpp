@@ -1,0 +1,69 @@
+#include "ring/counting.hpp"
+
+#include "support/assert.hpp"
+
+namespace hring::ring {
+
+std::int64_t mobius(std::uint64_t n) {
+  HRING_EXPECTS(n >= 1);
+  std::int64_t result = 1;
+  for (std::uint64_t p = 2; p * p <= n; ++p) {
+    if (n % p != 0) continue;
+    n /= p;
+    if (n % p == 0) return 0;  // squared prime factor
+    result = -result;
+  }
+  if (n > 1) result = -result;
+  return result;
+}
+
+std::uint64_t totient(std::uint64_t n) {
+  HRING_EXPECTS(n >= 1);
+  std::uint64_t result = n;
+  for (std::uint64_t p = 2; p * p <= n; ++p) {
+    if (n % p != 0) continue;
+    while (n % p == 0) n /= p;
+    result -= result / p;
+  }
+  if (n > 1) result -= result / n;
+  return result;
+}
+
+std::uint64_t checked_pow(std::uint64_t a, std::uint64_t e) {
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 0; i < e; ++i) {
+    HRING_ASSERT(a == 0 || result <= UINT64_MAX / (a == 0 ? 1 : a));
+    result *= a;
+  }
+  return result;
+}
+
+std::uint64_t count_asymmetric_labelings(std::uint64_t n, std::uint64_t a) {
+  HRING_EXPECTS(n >= 1 && a >= 1);
+  std::int64_t total = 0;
+  for (std::uint64_t d = 1; d <= n; ++d) {
+    if (n % d != 0) continue;
+    total += mobius(d) * static_cast<std::int64_t>(checked_pow(a, n / d));
+  }
+  HRING_ENSURES(total >= 0);
+  return static_cast<std::uint64_t>(total);
+}
+
+std::uint64_t count_asymmetric_rings(std::uint64_t n, std::uint64_t a) {
+  const std::uint64_t labelings = count_asymmetric_labelings(n, a);
+  HRING_ENSURES(labelings % n == 0);  // each class has exactly n rotations
+  return labelings / n;
+}
+
+std::uint64_t count_necklaces(std::uint64_t n, std::uint64_t a) {
+  HRING_EXPECTS(n >= 1 && a >= 1);
+  std::uint64_t total = 0;
+  for (std::uint64_t d = 1; d <= n; ++d) {
+    if (n % d != 0) continue;
+    total += totient(d) * checked_pow(a, n / d);
+  }
+  HRING_ENSURES(total % n == 0);
+  return total / n;
+}
+
+}  // namespace hring::ring

@@ -1,0 +1,44 @@
+// Combinatorics of labeled rings.
+//
+// Closed-form counts, used as independent ground truth for the exhaustive
+// enumeration (tests cross-check enumerate_rings() against these):
+//  * a labeling of length n is *asymmetric* (class A) iff it is aperiodic
+//    as a cyclic word; the number of aperiodic sequences over an a-letter
+//    alphabet is Σ_{d|n} μ(d)·a^{n/d} (Möbius inversion);
+//  * each asymmetric ring has exactly n distinct rotations, so the number
+//    of asymmetric rings up to rotation (canonical representatives) is
+//    that sum divided by n — the count of aperiodic necklaces, i.e. of
+//    Lyndon words of length n over a letters;
+//  * the total number of necklaces (rotation classes, symmetric or not)
+//    is Burnside's (1/n)·Σ_{d|n} φ(d)·a^{n/d}.
+#pragma once
+
+#include <cstdint>
+
+namespace hring::ring {
+
+/// Möbius function μ(n). Requires n >= 1.
+[[nodiscard]] std::int64_t mobius(std::uint64_t n);
+
+/// Euler's totient φ(n). Requires n >= 1.
+[[nodiscard]] std::uint64_t totient(std::uint64_t n);
+
+/// a^e with overflow assertions (counting stays within uint64 for the
+/// test-sized inputs this supports).
+[[nodiscard]] std::uint64_t checked_pow(std::uint64_t a, std::uint64_t e);
+
+/// Number of length-n sequences over an a-letter alphabet that are
+/// aperiodic as cyclic words == number of asymmetric labelings (class A).
+[[nodiscard]] std::uint64_t count_asymmetric_labelings(std::uint64_t n,
+                                                       std::uint64_t a);
+
+/// Number of asymmetric rings up to rotation (= Lyndon words of length n
+/// over a letters). Requires n >= 1.
+[[nodiscard]] std::uint64_t count_asymmetric_rings(std::uint64_t n,
+                                                   std::uint64_t a);
+
+/// Number of rotation classes of all labelings (Burnside necklace count).
+[[nodiscard]] std::uint64_t count_necklaces(std::uint64_t n,
+                                            std::uint64_t a);
+
+}  // namespace hring::ring

@@ -1,0 +1,36 @@
+#include "ring/fooling.hpp"
+
+#include <algorithm>
+
+#include "ring/classes.hpp"
+#include "support/assert.hpp"
+
+namespace hring::ring {
+
+LabeledRing fooling_ring(const LabeledRing& base, std::size_t k) {
+  HRING_EXPECTS(k >= 1);
+  HRING_EXPECTS(in_class_K1(base));
+  const std::size_t n = base.size();
+  Label::rep_type max_value = 0;
+  for (const Label l : base.labels()) {
+    max_value = std::max(max_value, l.value());
+  }
+  LabelSequence seq;
+  seq.reserve(k * n + 1);
+  for (std::size_t copy = 0; copy < k; ++copy) {
+    seq.insert(seq.end(), base.labels().begin(), base.labels().end());
+  }
+  seq.emplace_back(max_value + 1);
+  LabeledRing ring(std::move(seq));
+  HRING_ENSURES(in_class_Ustar(ring));
+  HRING_ENSURES(in_class_Kk(ring, k));
+  return ring;
+}
+
+ProcessIndex fooling_position(const LabeledRing& base, std::size_t copy,
+                              ProcessIndex base_index) {
+  HRING_EXPECTS(base_index < base.size());
+  return copy * base.size() + base_index;
+}
+
+}  // namespace hring::ring

@@ -1,0 +1,28 @@
+// The fooling-ring construction of Lemma 1 (§III).
+//
+// Given a base ring R_n ∈ K_1 with labels l_0 … l_{n-1} and a bound k, the
+// ring R_{n,k} has kn+1 processes labeled l_0 … l_{n-1} repeated k times
+// followed by one fresh label X. R_{n,k} ∈ U* ∩ K_k, yet its first (k-2)n
+// synchronous steps are indistinguishable, position-wise, from R_n's — the
+// engine of the Ω(kn) lower bound and of the impossibility of electing in
+// U* without a multiplicity bound (Theorem 1).
+#pragma once
+
+#include <cstddef>
+
+#include "ring/labeled_ring.hpp"
+
+namespace hring::ring {
+
+/// Builds R_{n,k} from `base` (which must be in K_1). The fresh label X is
+/// chosen as max(base labels) + 1, hence X ∉ base. Requires k >= 1.
+[[nodiscard]] LabeledRing fooling_ring(const LabeledRing& base,
+                                       std::size_t k);
+
+/// The process of R_{n,k} corresponding to p_j of the base ring in copy c
+/// (c in [0, k)); index c*n + j.
+[[nodiscard]] ProcessIndex fooling_position(const LabeledRing& base,
+                                            std::size_t copy,
+                                            ProcessIndex base_index);
+
+}  // namespace hring::ring

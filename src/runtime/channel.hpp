@@ -1,0 +1,75 @@
+// Blocking FIFO channel between two ring neighbors (threaded runtime).
+//
+// The §II link, realized with a mutex + condition variable instead of a
+// simulated queue. Single consumer (the right neighbor), single producer
+// (the left neighbor) — but the implementation tolerates any number of
+// producers. Only the consumer pops, so a peeked head stays the head
+// until the consumer itself removes it; that property lets the worker
+// evaluate guards outside the lock.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "sim/message.hpp"
+
+namespace hring::runtime {
+
+using sim::Message;
+
+class Channel {
+ public:
+  /// Appends a message and wakes the consumer.
+  void push(const Message& msg) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(msg);
+    }
+    cv_.notify_all();
+  }
+
+  /// Copy of the head message, if any.
+  [[nodiscard]] std::optional<Message> peek() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    return queue_.front();
+  }
+
+  /// Removes and returns the head. Requires a non-empty channel (the
+  /// consumer just peeked it; nobody else pops).
+  Message pop() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Message msg = queue_.front();
+    queue_.pop_front();
+    return msg;
+  }
+
+  /// Blocks until the queue length differs from `seen_size` or `wake`
+  /// returns true. Returns the current length.
+  template <class Predicate>
+  std::size_t wait_for_change(std::size_t seen_size, Predicate wake) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock,
+             [&] { return queue_.size() != seen_size || wake(); });
+    return queue_.size();
+  }
+
+  /// Wakes any waiter (used for shutdown).
+  void kick() { cv_.notify_all(); }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace hring::runtime

@@ -1,0 +1,188 @@
+#include "runtime/threaded_ring.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "runtime/channel.hpp"
+#include "support/assert.hpp"
+
+namespace hring::runtime {
+namespace {
+
+using sim::Message;
+using sim::Process;
+using sim::ProcessId;
+
+/// Shared run state: channels, processes, counters, shutdown flag.
+struct Shared {
+  std::vector<std::unique_ptr<Process>> procs;
+  std::vector<std::unique_ptr<Channel>> channels;  // [i]: p_i -> p_{i+1}
+  std::atomic<std::uint64_t> actions{0};
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::size_t> workers_alive{0};
+  std::atomic<bool> shutdown{false};
+  std::atomic<bool> budget_hit{false};
+
+  [[nodiscard]] Channel& in_channel(ProcessId pid) const {
+    return *channels[(pid + channels.size() - 1) % channels.size()];
+  }
+  [[nodiscard]] Channel& out_channel(ProcessId pid) const {
+    return *channels[pid];
+  }
+
+  void kick_all() const {
+    for (const auto& channel : channels) channel->kick();
+  }
+};
+
+/// Context for one firing on a worker thread. Sends take the neighbor's
+/// channel lock only — the worker holds no lock while firing, so the
+/// ring's lock graph stays acyclic.
+class ThreadedContext final : public sim::Context {
+ public:
+  ThreadedContext(Shared& shared, ProcessId pid)
+      : shared_(shared), pid_(pid) {}
+
+  Message consume() override {
+    HRING_EXPECTS(!consumed_);
+    consumed_ = true;
+    shared_.received.fetch_add(1, std::memory_order_relaxed);
+    return shared_.in_channel(pid_).pop();
+  }
+
+  void send(const Message& msg) override {
+    shared_.sent.fetch_add(1, std::memory_order_relaxed);
+    shared_.out_channel(pid_).push(msg);
+  }
+
+  void note_action(std::string_view) override {}
+
+ private:
+  Shared& shared_;
+  ProcessId pid_;
+  bool consumed_ = false;
+};
+
+void worker_loop(Shared& shared, ProcessId pid,
+                 const ThreadedConfig& config) {
+  Process& proc = *shared.procs[pid];
+  Channel& in = shared.in_channel(pid);
+  std::uint64_t fired = 0;
+  std::size_t seen_size = 0;
+  while (!shared.shutdown.load(std::memory_order_relaxed)) {
+    if (proc.halted()) break;
+    // Only this thread pops from `in`, so the peeked head remains the
+    // head until we consume it ourselves.
+    const std::optional<Message> head = in.peek();
+    const Message* head_ptr = head.has_value() ? &*head : nullptr;
+    if (proc.enabled(head_ptr)) {
+      ThreadedContext ctx(shared, pid);
+      proc.fire(head_ptr, ctx);
+      shared.actions.fetch_add(1, std::memory_order_relaxed);
+      if (++fired >= config.max_actions_per_process) {
+        shared.budget_hit.store(true, std::memory_order_relaxed);
+        shared.shutdown.store(true, std::memory_order_relaxed);
+        shared.kick_all();
+        break;
+      }
+      continue;
+    }
+    // Not enabled: a new message can only matter once the queue length
+    // changes (guards see the head; the head changes only when we pop,
+    // and an empty queue becomes enabled on arrival). Park.
+    seen_size = head.has_value() ? in.size() : 0;
+    in.wait_for_change(seen_size, [&] {
+      return shared.shutdown.load(std::memory_order_relaxed);
+    });
+  }
+  shared.workers_alive.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+}  // namespace
+
+std::optional<sim::ProcessId> ThreadedResult::leader_pid() const {
+  std::optional<sim::ProcessId> found;
+  for (const auto& p : processes) {
+    if (!p.is_leader) continue;
+    if (found.has_value()) return std::nullopt;
+    found = p.pid;
+  }
+  return found;
+}
+
+ThreadedResult run_threaded(const ring::LabeledRing& ring,
+                            const sim::ProcessFactory& factory,
+                            const ThreadedConfig& config) {
+  HRING_EXPECTS(factory != nullptr);
+  const std::size_t n = ring.size();
+  Shared shared;
+  shared.procs.reserve(n);
+  shared.channels.reserve(n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    shared.procs.push_back(factory(pid, ring.label(pid)));
+    shared.channels.push_back(std::make_unique<Channel>());
+  }
+  shared.workers_alive.store(n, std::memory_order_relaxed);
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    workers.emplace_back(worker_loop, std::ref(shared), pid,
+                         std::cref(config));
+  }
+
+  // Watchdog: finished when all workers exited; deadlocked when nothing
+  // fired for the quiet period while workers are still parked.
+  std::uint64_t last_actions = shared.actions.load();
+  auto last_progress = std::chrono::steady_clock::now();
+  for (;;) {
+    if (shared.workers_alive.load(std::memory_order_acquire) == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const std::uint64_t now_actions = shared.actions.load();
+    const auto now = std::chrono::steady_clock::now();
+    if (now_actions != last_actions) {
+      last_actions = now_actions;
+      last_progress = now;
+      continue;
+    }
+    if (now - last_progress >
+        std::chrono::milliseconds(config.quiet_period_ms)) {
+      shared.shutdown.store(true, std::memory_order_relaxed);
+      shared.kick_all();
+    }
+  }
+  for (auto& worker : workers) worker.join();
+
+  ThreadedResult result;
+  result.actions = shared.actions.load();
+  result.messages_sent = shared.sent.load();
+  result.messages_received = shared.received.load();
+
+  bool clean = true;
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    const Process& p = *shared.procs[pid];
+    sim::ProcessSnapshot snap;
+    snap.pid = p.pid();
+    snap.id = p.id();
+    snap.is_leader = p.is_leader();
+    snap.done = p.done();
+    snap.halted = p.halted();
+    snap.leader = p.leader();
+    snap.debug = p.debug_state();
+    result.processes.push_back(std::move(snap));
+    if (!p.halted()) clean = false;
+    if (!shared.channels[pid]->empty()) clean = false;
+  }
+  if (shared.budget_hit.load()) {
+    result.outcome = sim::Outcome::kBudgetExhausted;
+  } else {
+    result.outcome =
+        clean ? sim::Outcome::kTerminated : sim::Outcome::kDeadlock;
+  }
+  return result;
+}
+
+}  // namespace hring::runtime

@@ -1,0 +1,52 @@
+// Threaded runtime: the algorithms on real concurrency.
+//
+// The step and event engines *simulate* asynchrony; this runtime
+// *provides* it — one OS thread per process, blocking FIFO channels
+// between neighbors, the scheduler being whatever the OS does. The same
+// Process implementations run unchanged, which is the point: §II's
+// guarded-action programs are executable artifacts, not simulator-only
+// pseudocode. Every execution of this runtime is some fair asynchronous
+// execution of the model (FIFO channels, eventual delivery), so the
+// algorithms' correctness theorems apply to it directly — and the tests
+// check exactly that.
+//
+// Termination: worker threads exit when their process halts. A watchdog
+// declares the run finished when all workers exited (clean) or when no
+// action has fired for a quiet period while workers are still parked
+// (deadlock — reported, exactly like the engines do).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ring/labeled_ring.hpp"
+#include "sim/engine.hpp"
+#include "sim/run_result.hpp"
+
+namespace hring::runtime {
+
+struct ThreadedConfig {
+  /// Per-process firing budget (livelock guard).
+  std::uint64_t max_actions_per_process = 1'000'000;
+  /// Watchdog quiet period (milliseconds of global inactivity) before a
+  /// stalled run is declared deadlocked.
+  std::uint64_t quiet_period_ms = 200;
+};
+
+struct ThreadedResult {
+  sim::Outcome outcome = sim::Outcome::kDeadlock;
+  std::vector<sim::ProcessSnapshot> processes;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t actions = 0;
+
+  /// The unique leader's pid, if exactly one process has isLeader.
+  [[nodiscard]] std::optional<sim::ProcessId> leader_pid() const;
+};
+
+/// Runs one election with real threads. Blocks until the run finishes.
+[[nodiscard]] ThreadedResult run_threaded(const ring::LabeledRing& ring,
+                                          const sim::ProcessFactory& factory,
+                                          const ThreadedConfig& config = {});
+
+}  // namespace hring::runtime

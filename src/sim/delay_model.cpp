@@ -1,0 +1,29 @@
+#include "sim/delay_model.hpp"
+
+#include "support/assert.hpp"
+
+namespace hring::sim {
+
+ConstantDelay::ConstantDelay(double value) : value_(value) {
+  HRING_EXPECTS(value > 0.0 && value <= 1.0);
+}
+
+UniformDelay::UniformDelay(support::Rng rng, double lo, double hi)
+    : rng_(rng), lo_(lo), hi_(hi) {
+  HRING_EXPECTS(lo > 0.0 && lo <= hi && hi <= 1.0);
+}
+
+double UniformDelay::delay(ProcessId) {
+  return lo_ + (hi_ - lo_) * rng_.unit();
+}
+
+SlowLinkDelay::SlowLinkDelay(ProcessId slow_from, double fast)
+    : slow_from_(slow_from), fast_(fast) {
+  HRING_EXPECTS(fast > 0.0 && fast <= 1.0);
+}
+
+double SlowLinkDelay::delay(ProcessId from) {
+  return from == slow_from_ ? 1.0 : fast_;
+}
+
+}  // namespace hring::sim

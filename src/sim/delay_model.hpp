@@ -1,0 +1,63 @@
+// Message delay models for the discrete-event engine.
+//
+// §II normalizes time so that the longest message delay (transmission plus
+// processing at the receiver) is one time unit and local processing takes
+// zero time. Accordingly every model returns delays in (0, 1]; the
+// worst-case model (delay ≡ 1) realizes the bound the theorems are stated
+// against.
+#pragma once
+
+#include <vector>
+
+#include "sim/process.hpp"
+#include "support/rng.hpp"
+
+namespace hring::sim {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// Delay, in (0, 1], of a message sent now on the link out of `from`.
+  [[nodiscard]] virtual double delay(ProcessId from) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Every message takes exactly `value` time units (default: the worst-case
+/// 1.0 of the complexity analyses).
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(double value = 1.0);
+  [[nodiscard]] double delay(ProcessId) override { return value_; }
+  [[nodiscard]] const char* name() const override { return "constant"; }
+
+ private:
+  double value_;
+};
+
+/// Uniform in [lo, hi] with 0 < lo <= hi <= 1.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(support::Rng rng, double lo, double hi);
+  [[nodiscard]] double delay(ProcessId) override;
+  [[nodiscard]] const char* name() const override { return "uniform"; }
+
+ private:
+  support::Rng rng_;
+  double lo_;
+  double hi_;
+};
+
+/// One designated slow link runs at the full unit delay while all others
+/// run at `fast`; an adversarial heterogeneity stressor.
+class SlowLinkDelay final : public DelayModel {
+ public:
+  SlowLinkDelay(ProcessId slow_from, double fast);
+  [[nodiscard]] double delay(ProcessId from) override;
+  [[nodiscard]] const char* name() const override { return "slow-link"; }
+
+ private:
+  ProcessId slow_from_;
+  double fast_;
+};
+
+}  // namespace hring::sim

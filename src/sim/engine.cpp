@@ -1,0 +1,291 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace hring::sim {
+
+// ---------------------------------------------------------------------------
+// FireContext: the Context handed to a firing action.
+
+class RingExecution::FireContext final : public Context {
+ public:
+  FireContext(RingExecution& exec, ProcessId pid, const Message* head,
+              const std::function<double(ProcessId)>& send_ready)
+      : exec_(exec), pid_(pid), head_(head), send_ready_(send_ready) {}
+
+  Message consume() override {
+    HRING_EXPECTS(head_ != nullptr);   // guard matched a message
+    HRING_EXPECTS(!consumed_);         // each message received exactly once
+    consumed_ = true;
+    // Copy before pop: head_ points into the deque slot pop() destroys.
+    const Message expected = *head_;
+    Link& in = exec_.in_link_of(pid_);
+    const Message msg = in.pop();
+    // Compare raw representations: this engine self-check must not count
+    // toward the algorithm's label-comparison statistic.
+    HRING_ASSERT(msg.kind == expected.kind &&
+                 msg.label.value() == expected.label.value());
+    ++exec_.stats_.messages_received;
+    ++exec_.stats_.received_by_kind[kind_index(msg.kind)];
+    ++exec_.stats_.received_by_process[pid_];
+    consumed_msg_ = msg;
+    return msg;
+  }
+
+  void send(const Message& msg) override {
+    FaultDecision fault;
+    if (exec_.fault_model_ != nullptr) {
+      fault =
+          exec_.fault_model_->on_send(exec_.stats_.messages_sent, pid_, msg);
+      if (fault.faulty()) ++exec_.stats_.faults_injected;
+    }
+    ++exec_.stats_.messages_sent;
+    ++exec_.stats_.sent_by_kind[kind_index(msg.kind)];
+    ++exec_.stats_.sent_by_process[pid_];
+    exec_.stats_.message_bits_sent +=
+        message_bits(msg, exec_.label_bits_);
+    sent_.push_back(msg);
+    if (fault.drop) return;  // the message vanishes on the wire
+
+    Message to_send = msg;
+    if (fault.corrupt_to.has_value()) to_send.label = *fault.corrupt_to;
+    Link& out = exec_.out_link_of(pid_);
+    const double ready =
+        std::max(send_ready_(pid_), out.last_ready_time());
+    out.push(to_send, ready);
+    if (fault.duplicate) {
+      // A second copy; its own delay, clamped to stay FIFO.
+      const double ready2 =
+          std::max(send_ready_(pid_), out.last_ready_time());
+      out.push(to_send, ready2);
+    }
+    if (fault.reorder && out.size() >= 2) {
+      out.swap_last_two_payloads();
+    }
+  }
+
+  void note_action(std::string_view name) override {
+    HRING_EXPECTS(action_.empty());
+    action_ = std::string(name);
+  }
+
+  [[nodiscard]] bool consumed() const { return consumed_; }
+  [[nodiscard]] const std::optional<Message>& consumed_msg() const {
+    return consumed_msg_;
+  }
+  [[nodiscard]] const std::string& action() const { return action_; }
+  [[nodiscard]] std::vector<Message>& sent() { return sent_; }
+
+ private:
+  RingExecution& exec_;
+  ProcessId pid_;
+  const Message* head_;
+  const std::function<double(ProcessId)>& send_ready_;
+  bool consumed_ = false;
+  std::optional<Message> consumed_msg_;
+  std::string action_;
+  std::vector<Message> sent_;
+};
+
+// ---------------------------------------------------------------------------
+// RingExecution
+
+RingExecution::RingExecution(const ring::LabeledRing& ring,
+                             const ProcessFactory& factory)
+    : label_bits_(ring.label_bits()) {
+  HRING_EXPECTS(factory != nullptr);
+  const std::size_t n = ring.size();
+  processes_.reserve(n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    processes_.push_back(factory(pid, ring.label(pid)));
+    HRING_ENSURES(processes_.back() != nullptr);
+    HRING_ENSURES(processes_.back()->pid() == pid);
+  }
+  links_.resize(n);
+  stats_.sent_by_process.assign(n, 0);
+  stats_.received_by_process.assign(n, 0);
+}
+
+const Process& RingExecution::process(ProcessId pid) const {
+  HRING_EXPECTS(pid < processes_.size());
+  return *processes_[pid];
+}
+
+const Link& RingExecution::out_link(ProcessId pid) const {
+  HRING_EXPECTS(pid < links_.size());
+  return links_[pid];
+}
+
+Link& RingExecution::in_link_of(ProcessId pid) {
+  HRING_EXPECTS(pid < links_.size());
+  return links_[(pid + links_.size() - 1) % links_.size()];
+}
+
+Link& RingExecution::out_link_of(ProcessId pid) {
+  HRING_EXPECTS(pid < links_.size());
+  return links_[pid];
+}
+
+Process& RingExecution::mutable_process(ProcessId pid) {
+  HRING_EXPECTS(pid < processes_.size());
+  return *processes_[pid];
+}
+
+const Message* RingExecution::deliverable_head(ProcessId pid,
+                                               double now) const {
+  const std::size_t n = links_.size();
+  return links_[(pid + n - 1) % n].head(now);
+}
+
+bool RingExecution::fire_process(
+    ProcessId pid, const Message* head,
+    const std::function<double(ProcessId from)>& send_ready) {
+  Process& proc = mutable_process(pid);
+  HRING_ASSERT(!proc.halted());
+  FireContext ctx(*this, pid, head, send_ready);
+  proc.fire(head, ctx);
+  ++stats_.actions;
+  update_space(pid);
+  ActionEvent event;
+  event.pid = pid;
+  event.action = ctx.action();
+  event.consumed = ctx.consumed_msg();
+  event.sent = std::move(ctx.sent());
+  event.step = step_;
+  event.time = time_;
+  observers_.action(*this, event);
+  return ctx.consumed();
+}
+
+bool RingExecution::terminal_is_clean() const {
+  for (const auto& p : processes_) {
+    if (!p->halted()) return false;
+  }
+  for (const Link& l : links_) {
+    if (!l.empty()) return false;
+  }
+  return true;
+}
+
+void RingExecution::update_space(ProcessId pid) {
+  stats_.peak_space_bits = std::max(
+      stats_.peak_space_bits, processes_[pid]->space_bits(label_bits_));
+}
+
+void RingExecution::begin_run() {
+  Label::reset_comparison_count();
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid) update_space(pid);
+  observers_.start(*this);
+}
+
+RunResult RingExecution::make_result(Outcome outcome) {
+  observers_.finish(*this);
+  stats_.label_comparisons = Label::comparison_count();
+  for (const Link& l : links_) {
+    stats_.peak_link_occupancy =
+        std::max(stats_.peak_link_occupancy, l.high_water());
+  }
+  RunResult result;
+  result.outcome = outcome;
+  result.stats = stats_;
+  result.processes.reserve(processes_.size());
+  for (const auto& p : processes_) {
+    ProcessSnapshot snap;
+    snap.pid = p->pid();
+    snap.id = p->id();
+    snap.is_leader = p->is_leader();
+    snap.done = p->done();
+    snap.halted = p->halted();
+    snap.leader = p->leader();
+    snap.debug = p->debug_state();
+    result.processes.push_back(std::move(snap));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// StepEngine
+
+StepEngine::StepEngine(const ring::LabeledRing& ring,
+                       const ProcessFactory& factory, Scheduler& scheduler,
+                       StepConfig config)
+    : RingExecution(ring, factory),
+      scheduler_(scheduler),
+      config_(config),
+      age_(ring.size(), 0) {}
+
+RunResult StepEngine::run() {
+  begin_run();
+  for (;;) {
+    if (step_ >= config_.max_steps) {
+      return make_result(Outcome::kBudgetExhausted);
+    }
+    if (!step_once()) {
+      return make_result(terminal_is_clean() ? Outcome::kTerminated
+                                             : Outcome::kDeadlock);
+    }
+    observers_.step_end(*this);
+    if (stop_predicate_ && stop_predicate_()) {
+      return make_result(Outcome::kViolation);
+    }
+  }
+}
+
+bool StepEngine::step_once() {
+  // Enabled set in the current configuration γ. In the step engine every
+  // queued message is deliverable (infinite `now`).
+  constexpr double kNow = std::numeric_limits<double>::infinity();
+  enabled_buf_.clear();
+  for (ProcessId pid = 0; pid < process_count(); ++pid) {
+    const Process& proc = process(pid);
+    if (!proc.halted() && proc.enabled(deliverable_head(pid, kNow))) {
+      enabled_buf_.push_back(pid);
+    } else {
+      age_[pid] = 0;
+    }
+  }
+  if (enabled_buf_.empty()) return false;
+
+  chosen_buf_.clear();
+  // Fair activation: force any process continuously enabled for the bound.
+  for (const ProcessId pid : enabled_buf_) {
+    if (age_[pid] >= config_.fairness_bound) chosen_buf_.push_back(pid);
+  }
+  scheduler_.select(enabled_buf_, chosen_buf_);
+  std::sort(chosen_buf_.begin(), chosen_buf_.end());
+  chosen_buf_.erase(std::unique(chosen_buf_.begin(), chosen_buf_.end()),
+                    chosen_buf_.end());
+  HRING_ASSERT(!chosen_buf_.empty());
+
+  // Execute the chosen processes. Firing order within a step is
+  // immaterial: a process only pops its own in-link head (fixed in γ) and
+  // only appends to its out-link tail, so each firing sees exactly the
+  // state γ prescribed for it.
+  const auto send_ready = [](ProcessId) { return 0.0; };
+  for (const ProcessId pid : chosen_buf_) {
+    const Message* head = deliverable_head(pid, kNow);
+    const Process& proc = process(pid);
+    HRING_ASSERT(!proc.halted());
+    HRING_ASSERT(proc.enabled(head));
+    fire_process(pid, head, send_ready);
+    age_[pid] = 0;
+  }
+  // Age the enabled-but-skipped processes.
+  for (const ProcessId pid : enabled_buf_) {
+    if (!std::binary_search(chosen_buf_.begin(), chosen_buf_.end(), pid)) {
+      ++age_[pid];
+    }
+  }
+  ++step_;
+  stats_.steps = step_;
+  // Under the synchronous daemon each step is one normalized time unit;
+  // other daemons must use the event engine for time measurements.
+  time_ = static_cast<double>(step_);
+  stats_.time_units = time_;
+  return true;
+}
+
+}  // namespace hring::sim

@@ -1,0 +1,135 @@
+// Execution engines.
+//
+// RingExecution owns the processes, links and statistics shared by the two
+// engines. StepEngine implements the configuration-step semantics of §II
+// (γ ↦ γ' executes a scheduler-chosen non-empty subset of the enabled
+// processes, with fairness enforced by aging); it is the instrument for
+// Lemma 1's synchronous step counts and for scheduler-adversarial testing.
+// The discrete-event engine (event_engine.hpp) measures normalized time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ring/labeled_ring.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/link.hpp"
+#include "sim/observer.hpp"
+#include "sim/process.hpp"
+#include "sim/run_result.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hring::sim {
+
+/// Builds the local algorithm of one process. The same factory is used for
+/// every process — §II's "all local algorithms are identical, except maybe
+/// for the labels".
+using ProcessFactory =
+    std::function<std::unique_ptr<Process>(ProcessId pid, Label id)>;
+
+/// State and plumbing shared by both engines.
+class RingExecution : public ExecutionView {
+ public:
+  RingExecution(const ring::LabeledRing& ring, const ProcessFactory& factory);
+
+  // ExecutionView:
+  [[nodiscard]] std::size_t process_count() const override {
+    return processes_.size();
+  }
+  [[nodiscard]] const Process& process(ProcessId pid) const override;
+  [[nodiscard]] const Link& out_link(ProcessId pid) const override;
+  [[nodiscard]] std::uint64_t current_step() const override { return step_; }
+  [[nodiscard]] double current_time() const override { return time_; }
+
+  /// Registers an observer (not owned; must outlive the run).
+  void add_observer(Observer* observer) { observers_.add(observer); }
+
+  /// Attaches a link-layer fault injector (not owned; nullptr = reliable
+  /// links, the §II default). See sim/fault_model.hpp.
+  void set_fault_model(FaultModel* model) { fault_model_ = model; }
+
+  /// Optional early-stop hook, polled after every step; a true return stops
+  /// the run with Outcome::kViolation. The core driver wires the spec
+  /// monitor in here.
+  void set_stop_predicate(std::function<bool()> predicate) {
+    stop_predicate_ = std::move(predicate);
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ protected:
+  [[nodiscard]] Link& in_link_of(ProcessId pid);
+  [[nodiscard]] Link& out_link_of(ProcessId pid);
+  [[nodiscard]] Process& mutable_process(ProcessId pid);
+
+  /// Head of pid's incoming link deliverable at `now`.
+  [[nodiscard]] const Message* deliverable_head(ProcessId pid,
+                                                double now) const;
+
+  /// Fires one action of `pid` atomically. `head` must be the pointer the
+  /// enabled() check saw. `send_ready` computes the delivery time of each
+  /// sent message (the step engine passes "now"; the DES adds a delay and
+  /// clamps to FIFO order). Returns true iff the action consumed a message.
+  bool fire_process(ProcessId pid, const Message* head,
+                    const std::function<double(ProcessId from)>& send_ready);
+
+  /// True iff every process halted and every link is empty.
+  [[nodiscard]] bool terminal_is_clean() const;
+
+  /// Copies out final per-process state and closes the statistics
+  /// (link high-waters, label comparisons).
+  RunResult make_result(Outcome outcome);
+
+  /// Seeds initial-space accounting and notifies observers; call once.
+  void begin_run();
+
+  std::uint64_t step_ = 0;
+  double time_ = 0.0;
+  ObserverList observers_;
+  std::function<bool()> stop_predicate_;
+  FaultModel* fault_model_ = nullptr;
+  Stats stats_;
+
+ private:
+  class FireContext;
+
+  void update_space(ProcessId pid);
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Link> links_;  // links_[i]: p_i -> p_{i+1}
+  std::size_t label_bits_;
+  /// Messages each process sent during the current firing, delivered on
+  /// its out-link; bookkeeping lives in FireContext.
+};
+
+/// Step-engine tuning knobs.
+struct StepConfig {
+  /// Budget on configuration steps before giving up (livelock guard).
+  std::uint64_t max_steps = 10'000'000;
+  /// A process continuously enabled for this many steps is force-included
+  /// in the next step (the model's fair activation).
+  std::size_t fairness_bound = 128;
+};
+
+class StepEngine final : public RingExecution {
+ public:
+  /// `scheduler` is not owned and must outlive the engine.
+  StepEngine(const ring::LabeledRing& ring, const ProcessFactory& factory,
+             Scheduler& scheduler, StepConfig config = {});
+
+  /// Runs to a terminal configuration (or budget/stop-predicate exit).
+  RunResult run();
+
+ private:
+  /// Executes one configuration step; false when no process is enabled.
+  bool step_once();
+
+  Scheduler& scheduler_;
+  StepConfig config_;
+  std::vector<std::size_t> age_;  // consecutive steps enabled without firing
+  std::vector<ProcessId> enabled_buf_;
+  std::vector<ProcessId> chosen_buf_;
+};
+
+}  // namespace hring::sim

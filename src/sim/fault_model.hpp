@@ -1,0 +1,126 @@
+// Fault injection at the link layer.
+//
+// §II assumes reliable FIFO links: nothing is lost, duplicated, corrupted
+// or reordered. Those assumptions are load-bearing — A_k counts label
+// copies and B_k's phases rely on FIFO barriers — and the fault models
+// here let tests and demos show each assumption failing: inject a fault
+// and watch the election deadlock, elect the wrong process, or violate
+// the spec (always *detectably*; see tests/sim/fault_test.cpp).
+//
+// Faults apply at send time, before the message is enqueued. A reorder
+// swaps the new message with the current link tail (payloads only, so the
+// event engine's delivery times stay monotone).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/message.hpp"
+#include "sim/process.hpp"
+#include "support/rng.hpp"
+
+namespace hring::sim {
+
+/// What to do with one sent message.
+struct FaultDecision {
+  bool drop = false;       // message vanishes
+  bool duplicate = false;  // message enqueued twice
+  bool reorder = false;    // swap with the link's current tail
+  /// Replace the payload label (corruption).
+  std::optional<Label> corrupt_to;
+
+  [[nodiscard]] bool faulty() const {
+    return drop || duplicate || reorder || corrupt_to.has_value();
+  }
+
+  [[nodiscard]] static FaultDecision dropped() {
+    FaultDecision d;
+    d.drop = true;
+    return d;
+  }
+  [[nodiscard]] static FaultDecision duplicated() {
+    FaultDecision d;
+    d.duplicate = true;
+    return d;
+  }
+  [[nodiscard]] static FaultDecision reordered() {
+    FaultDecision d;
+    d.reorder = true;
+    return d;
+  }
+  [[nodiscard]] static FaultDecision corrupted(Label to) {
+    FaultDecision d;
+    d.corrupt_to = to;
+    return d;
+  }
+};
+
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+  /// Decision for the `index`-th send of the run (0-based, global) from
+  /// process `from`.
+  [[nodiscard]] virtual FaultDecision on_send(std::uint64_t index,
+                                              ProcessId from,
+                                              const Message& msg) = 0;
+};
+
+/// Injects exactly one fault, at the `target`-th send of the run;
+/// deterministic, for pinpoint tests.
+class SingleFault final : public FaultModel {
+ public:
+  SingleFault(std::uint64_t target, FaultDecision decision)
+      : target_(target), decision_(decision) {}
+
+  [[nodiscard]] FaultDecision on_send(std::uint64_t index, ProcessId,
+                                      const Message&) override {
+    return index == target_ ? decision_ : FaultDecision{};
+  }
+
+ private:
+  std::uint64_t target_;
+  FaultDecision decision_;
+};
+
+/// Independent per-message fault coins, with a cap on the total number of
+/// injected faults so executions stay analyzable.
+class ProbabilisticFaults final : public FaultModel {
+ public:
+  struct Rates {
+    double drop = 0.0;
+    double duplicate = 0.0;
+    double reorder = 0.0;
+    double corrupt = 0.0;
+  };
+
+  ProbabilisticFaults(support::Rng rng, Rates rates,
+                      std::uint64_t max_faults)
+      : rng_(rng), rates_(rates), max_faults_(max_faults) {}
+
+  [[nodiscard]] FaultDecision on_send(std::uint64_t, ProcessId,
+                                      const Message& msg) override {
+    FaultDecision decision;
+    if (injected_ >= max_faults_) return decision;
+    if (rng_.chance(rates_.drop)) {
+      decision.drop = true;
+    } else if (rng_.chance(rates_.duplicate)) {
+      decision.duplicate = true;
+    } else if (rng_.chance(rates_.reorder)) {
+      decision.reorder = true;
+    } else if (msg.kind == MsgKind::kToken && rng_.chance(rates_.corrupt)) {
+      decision.corrupt_to = Label(msg.label.value() + 1);
+    }
+    if (decision.faulty()) ++injected_;
+    return decision;
+  }
+
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+
+ private:
+  support::Rng rng_;
+  Rates rates_;
+  std::uint64_t max_faults_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace hring::sim

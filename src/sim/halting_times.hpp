@@ -1,0 +1,78 @@
+// Halting-time observer.
+//
+// Theorem 2's proof ends with "every process p halts after fewer than
+// m + n time units": once the leader decides, the ⟨FINISH⟩ wave stops
+// everyone within one ring traversal. This observer records, per process,
+// the time (and step) of its decision (done := TRUE) and of its halt, so
+// tests and benches can measure the decision-to-quiescence gap against
+// that claim.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/observer.hpp"
+
+namespace hring::sim {
+
+class HaltingTimes final : public Observer {
+ public:
+  struct Record {
+    std::optional<double> done_time;
+    std::optional<std::uint64_t> done_step;
+    std::optional<double> halt_time;
+    std::optional<std::uint64_t> halt_step;
+  };
+
+  void on_start(const ExecutionView& view) override {
+    records_.assign(view.process_count(), Record{});
+  }
+
+  void on_action(const ExecutionView& view,
+                 const ActionEvent& event) override {
+    const Process& p = view.process(event.pid);
+    Record& r = records_[event.pid];
+    if (p.done() && !r.done_time.has_value()) {
+      r.done_time = view.current_time();
+      r.done_step = view.current_step();
+    }
+    if (p.halted() && !r.halt_time.has_value()) {
+      r.halt_time = view.current_time();
+      r.halt_step = view.current_step();
+    }
+  }
+
+  [[nodiscard]] const std::vector<Record>& records() const {
+    return records_;
+  }
+
+  /// Earliest decision time (the leader's, for A_k/B_k); nullopt when no
+  /// process decided.
+  [[nodiscard]] std::optional<double> first_decision() const {
+    std::optional<double> best;
+    for (const auto& r : records_) {
+      if (r.done_time.has_value() &&
+          (!best.has_value() || *r.done_time < *best)) {
+        best = r.done_time;
+      }
+    }
+    return best;
+  }
+
+  /// Latest halt time; nullopt when some process never halted.
+  [[nodiscard]] std::optional<double> last_halt() const {
+    std::optional<double> worst;
+    for (const auto& r : records_) {
+      if (!r.halt_time.has_value()) return std::nullopt;
+      if (!worst.has_value() || *r.halt_time > *worst) {
+        worst = r.halt_time;
+      }
+    }
+    return worst;
+  }
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace hring::sim

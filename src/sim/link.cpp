@@ -1,0 +1,39 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace hring::sim {
+
+void Link::push(const Message& msg, double ready_time) {
+  HRING_EXPECTS(ready_time >= last_ready_time_);
+  queue_.push_back(InFlight{msg, ready_time});
+  last_ready_time_ = ready_time;
+  high_water_ = std::max(high_water_, queue_.size());
+}
+
+const Message* Link::head(double now) const {
+  if (queue_.empty() || queue_.front().ready_time > now) return nullptr;
+  return &queue_.front().msg;
+}
+
+double Link::head_ready_time() const {
+  HRING_EXPECTS(!queue_.empty());
+  return queue_.front().ready_time;
+}
+
+void Link::swap_last_two_payloads() {
+  HRING_EXPECTS(queue_.size() >= 2);
+  using std::swap;
+  swap(queue_[queue_.size() - 1].msg, queue_[queue_.size() - 2].msg);
+}
+
+Message Link::pop() {
+  HRING_EXPECTS(!queue_.empty());
+  const Message msg = queue_.front().msg;
+  queue_.pop_front();
+  return msg;
+}
+
+}  // namespace hring::sim

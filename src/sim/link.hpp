@@ -1,0 +1,59 @@
+// Reliable FIFO links (§II).
+//
+// S(p_i, p_{i+1}) is the ordered list of in-flight messages; send appends at
+// the tail, rcv removes the head, nothing is lost or reordered. The
+// discrete-event engine additionally stamps each message with its delivery
+// time; in the step engine every queued message is immediately receivable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "sim/message.hpp"
+
+namespace hring::sim {
+
+class Link {
+ public:
+  /// Appends `msg` at the tail with the given delivery time (step engine
+  /// uses 0: always deliverable). Delivery times must be non-decreasing
+  /// along the queue — the engines enforce this to preserve FIFO.
+  void push(const Message& msg, double ready_time = 0.0);
+
+  /// Head message, or nullptr when empty. `now` filters messages still in
+  /// transit (DES); the default admits everything already queued.
+  [[nodiscard]] const Message* head(
+      double now = std::numeric_limits<double>::infinity()) const;
+
+  /// Delivery time of the head message. Requires a non-empty link.
+  [[nodiscard]] double head_ready_time() const;
+
+  /// Removes and returns the head. Requires a non-empty link.
+  Message pop();
+
+  /// Swaps the payloads of the last two queued messages, keeping their
+  /// delivery times in place (so per-link delivery stays monotone). Used
+  /// only by the fault injector's reorder fault. Requires size() >= 2.
+  void swap_last_two_payloads();
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+
+  /// Largest queue length ever observed (link-state space metric).
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  /// Delivery time of the most recently pushed message (0 when none yet);
+  /// the DES clamps new deliveries to at least this, keeping FIFO order.
+  [[nodiscard]] double last_ready_time() const { return last_ready_time_; }
+
+ private:
+  struct InFlight {
+    Message msg;
+    double ready_time;
+  };
+  std::deque<InFlight> queue_;
+  std::size_t high_water_ = 0;
+  double last_ready_time_ = 0.0;
+};
+
+}  // namespace hring::sim

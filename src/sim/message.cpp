@@ -1,0 +1,41 @@
+#include "sim/message.hpp"
+
+#include "support/assert.hpp"
+
+namespace hring::sim {
+
+const char* kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kToken:
+      return "TOKEN";
+    case MsgKind::kFinish:
+      return "FINISH";
+    case MsgKind::kPhaseShift:
+      return "PHASE_SHIFT";
+    case MsgKind::kFinishLabel:
+      return "FINISH_LABEL";
+    case MsgKind::kProbeOne:
+      return "PROBE1";
+    case MsgKind::kProbeTwo:
+      return "PROBE2";
+  }
+  HRING_ASSERT(false);
+}
+
+std::size_t message_bits(const Message& msg, std::size_t label_bits) {
+  constexpr std::size_t kTagBits = 3;  // ⌈log2(6)⌉
+  return msg.kind == MsgKind::kFinish ? kTagBits : kTagBits + label_bits;
+}
+
+std::string to_string(const Message& msg) {
+  std::string out = "<";
+  out += kind_name(msg.kind);
+  if (msg.kind != MsgKind::kFinish) {
+    out += ',';
+    out += words::to_string(msg.label);
+  }
+  out += '>';
+  return out;
+}
+
+}  // namespace hring::sim

@@ -1,0 +1,73 @@
+// Messages of the §II model.
+//
+// The paper's algorithms exchange ⟨x⟩ label tokens, ⟨FINISH⟩, ⟨PHASE_SHIFT,x⟩
+// and ⟨FINISH,x⟩; the baseline algorithms add probe/announce kinds. A single
+// concrete Message type (tagged union) keeps the engine monomorphic while
+// letting per-kind statistics and bit accounting work across algorithms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "words/label.hpp"
+
+namespace hring::sim {
+
+using words::Label;
+
+enum class MsgKind : std::uint8_t {
+  kToken,        // ⟨x⟩           — A_k growth tokens, B_k phase labels
+  kFinish,       // ⟨FINISH⟩      — A_k's termination wave
+  kPhaseShift,   // ⟨PHASE_SHIFT, x⟩ — B_k's barrier between phases
+  kFinishLabel,  // ⟨FINISH, x⟩   — B_k's termination wave (also used by
+                 //                 baselines to announce the elected label)
+  kProbeOne,     // baseline probe, first hop of a phase (label payload)
+  kProbeTwo,     // baseline probe, second hop of a phase (label payload)
+};
+
+inline constexpr std::size_t kNumMsgKinds = 6;
+
+/// Kind index for per-kind statistics arrays.
+[[nodiscard]] constexpr std::size_t kind_index(MsgKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+[[nodiscard]] const char* kind_name(MsgKind kind);
+
+struct Message {
+  MsgKind kind = MsgKind::kToken;
+  Label label{};  // payload label; meaningless for kFinish
+
+  [[nodiscard]] static Message token(Label x) {
+    return Message{MsgKind::kToken, x};
+  }
+  [[nodiscard]] static Message finish() {
+    return Message{MsgKind::kFinish, Label{}};
+  }
+  [[nodiscard]] static Message phase_shift(Label x) {
+    return Message{MsgKind::kPhaseShift, x};
+  }
+  [[nodiscard]] static Message finish_label(Label x) {
+    return Message{MsgKind::kFinishLabel, x};
+  }
+  [[nodiscard]] static Message probe_one(Label x) {
+    return Message{MsgKind::kProbeOne, x};
+  }
+  [[nodiscard]] static Message probe_two(Label x) {
+    return Message{MsgKind::kProbeTwo, x};
+  }
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Size of a message on the wire, in bits: a ⌈log2(#kinds)⌉-bit tag plus b
+/// bits of label payload where present. Used by the message-bit statistic
+/// (the paper counts messages; bits are reported as supplementary data).
+[[nodiscard]] std::size_t message_bits(const Message& msg,
+                                       std::size_t label_bits);
+
+/// "⟨PHASE_SHIFT,3⟩" — rendering for traces.
+[[nodiscard]] std::string to_string(const Message& msg);
+
+}  // namespace hring::sim

@@ -1,0 +1,29 @@
+#include "sim/observer.hpp"
+
+#include "support/assert.hpp"
+
+namespace hring::sim {
+
+void ObserverList::add(Observer* observer) {
+  HRING_EXPECTS(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void ObserverList::start(const ExecutionView& view) const {
+  for (Observer* o : observers_) o->on_start(view);
+}
+
+void ObserverList::action(const ExecutionView& view,
+                          const ActionEvent& event) const {
+  for (Observer* o : observers_) o->on_action(view, event);
+}
+
+void ObserverList::step_end(const ExecutionView& view) const {
+  for (Observer* o : observers_) o->on_step_end(view);
+}
+
+void ObserverList::finish(const ExecutionView& view) const {
+  for (Observer* o : observers_) o->on_finish(view);
+}
+
+}  // namespace hring::sim

@@ -1,0 +1,75 @@
+// Execution observers.
+//
+// Observers see every fired action and the end of every configuration step,
+// through a read-only view of the execution. The invariant monitor, the
+// trace recorder and the B_k phase/state censuses are observers; engines
+// know nothing about what they check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/link.hpp"
+#include "sim/process.hpp"
+
+namespace hring::sim {
+
+/// Read-only view of a running execution, implemented by both engines.
+class ExecutionView {
+ public:
+  virtual ~ExecutionView() = default;
+  [[nodiscard]] virtual std::size_t process_count() const = 0;
+  [[nodiscard]] virtual const Process& process(ProcessId pid) const = 0;
+  /// Link from p_i to p_{i+1}.
+  [[nodiscard]] virtual const Link& out_link(ProcessId pid) const = 0;
+  /// Current step index (step engine) and simulated time (event engine).
+  [[nodiscard]] virtual std::uint64_t current_step() const = 0;
+  [[nodiscard]] virtual double current_time() const = 0;
+};
+
+/// One fired action.
+struct ActionEvent {
+  ProcessId pid = 0;
+  /// Label recorded via Context::note_action ("A3", "B6", …); empty when
+  /// the algorithm did not label the firing.
+  std::string action;
+  /// Message consumed by the firing, if any.
+  std::optional<Message> consumed;
+  /// Messages sent by the firing, in send order (before any link fault).
+  std::vector<Message> sent;
+  std::uint64_t step = 0;
+  double time = 0.0;
+};
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  /// Called before the first step, after processes are constructed.
+  virtual void on_start(const ExecutionView&) {}
+  /// Called after each individual action firing.
+  virtual void on_action(const ExecutionView&, const ActionEvent&) {}
+  /// Called after each configuration step (step engine) or each event time
+  /// at which at least one action fired (event engine).
+  virtual void on_step_end(const ExecutionView&) {}
+  /// Called once when the run stops, before snapshots are taken.
+  virtual void on_finish(const ExecutionView&) {}
+};
+
+/// Fan-out helper used by the engines.
+class ObserverList {
+ public:
+  void add(Observer* observer);
+  void start(const ExecutionView& view) const;
+  void action(const ExecutionView& view, const ActionEvent& event) const;
+  void step_end(const ExecutionView& view) const;
+  void finish(const ExecutionView& view) const;
+  [[nodiscard]] bool empty() const { return observers_.empty(); }
+
+ private:
+  std::vector<Observer*> observers_;
+};
+
+}  // namespace hring::sim

@@ -1,0 +1,6 @@
+#include "sim/process.hpp"
+
+// Interface-only translation unit; keeps the vtable anchored here.
+namespace hring::sim {
+static_assert(sizeof(Process) > 0);
+}  // namespace hring::sim

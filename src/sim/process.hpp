@@ -1,0 +1,122 @@
+// Guarded-action processes (§II).
+//
+// A local algorithm is a list of actions ⟨guard⟩ → ⟨statement⟩. Guards may
+// inspect the process's own variables and pattern-match the head message of
+// the incoming link (the model's message-blocking rcv); statements assign
+// variables, send messages, and possibly halt. Guard evaluation plus the
+// statement execute as one atomic step.
+//
+// Process carries the spec variables of the leader-election specification
+// (isLeader, leader, done) plus the halting flag, so the engines and the
+// invariant monitor can observe them uniformly across algorithms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace hring::sim {
+
+/// Position of a process in the ring, in [0, n).
+using ProcessId = std::size_t;
+
+/// Execution context handed to a firing action: message consumption and
+/// sending, plus action labeling for traces. Implemented by each engine.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// Receives (removes) the head message of the incoming link. An action
+  /// whose guard matched a message must call this exactly once; an action
+  /// triggerable without reception (A1/B1) must not call it.
+  virtual Message consume() = 0;
+
+  /// Sends `msg` to the right neighbor (appends to the outgoing link).
+  virtual void send(const Message& msg) = 0;
+
+  /// Records which action fired ("A3", "B6", …) for traces and the
+  /// state-diagram conformance census. Call at most once per firing.
+  virtual void note_action(std::string_view name) = 0;
+};
+
+class Process {
+ public:
+  Process(ProcessId pid, Label id) : pid_(pid), id_(id) {}
+  virtual ~Process() = default;
+
+  Process& operator=(const Process&) = delete;
+
+  /// True iff some action of this process is enabled given the head message
+  /// of the incoming link (nullptr when the link is empty or the head is
+  /// still in transit). Must be side-effect free.
+  [[nodiscard]] virtual bool enabled(const Message* head) const = 0;
+
+  /// Atomically executes exactly one enabled action. `head` is the same
+  /// pointer passed to the matching enabled() call.
+  virtual void fire(const Message* head, Context& ctx) = 0;
+
+  /// Space occupied by the process's variables, in bits, under the paper's
+  /// conventions: `label_bits` per label variable, 1 per Boolean,
+  /// ⌈log2 k⌉ per k-bounded counter. Excludes debugging instrumentation.
+  [[nodiscard]] virtual std::size_t space_bits(
+      std::size_t label_bits) const = 0;
+
+  /// One-line state rendering for traces ("COMPUTE g=3 in=1 out=2").
+  [[nodiscard]] virtual std::string debug_state() const = 0;
+
+  /// Deep copy, for the exhaustive model checker's backtracking search
+  /// (core/model_checker.hpp). Algorithms that do not support checking
+  /// return nullptr (the default).
+  [[nodiscard]] virtual std::unique_ptr<Process> clone() const {
+    return nullptr;
+  }
+
+  /// Serializes the complete local state (spec variables included) into
+  /// `out`, for configuration hashing/equality in the model checker. Two
+  /// processes with equal encodings must behave identically. The default
+  /// encodes only the spec variables — enough for the base class; clone()
+  /// implementers must append their own fields.
+  virtual void encode(std::vector<std::uint64_t>& out) const {
+    out.push_back((static_cast<std::uint64_t>(is_leader_) << 0) |
+                  (static_cast<std::uint64_t>(done_) << 1) |
+                  (static_cast<std::uint64_t>(halted_) << 2) |
+                  (static_cast<std::uint64_t>(leader_.has_value()) << 3));
+    out.push_back(leader_.has_value() ? leader_->value() : 0);
+  }
+
+  // -- spec variables ------------------------------------------------------
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+  [[nodiscard]] Label id() const { return id_; }
+  [[nodiscard]] bool is_leader() const { return is_leader_; }
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] std::optional<Label> leader() const { return leader_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+
+ protected:
+  /// Copying is reserved for clone() implementations.
+  Process(const Process&) = default;
+
+  // Mutators for implementations. Deliberately unchecked: the invariant
+  // monitor (not the mutator) reports spec violations, so the impossibility
+  // experiments can observe a faulty election instead of aborting.
+  void declare_leader() { is_leader_ = true; }
+  void set_leader_label(Label l) { leader_ = l; }
+  void set_done() { done_ = true; }
+  /// The model's (halt): the process never executes another action.
+  void halt_self() { halted_ = true; }
+
+ private:
+  ProcessId pid_;
+  Label id_;
+  bool is_leader_ = false;
+  bool done_ = false;
+  std::optional<Label> leader_;
+  bool halted_ = false;
+};
+
+}  // namespace hring::sim

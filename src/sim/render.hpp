@@ -1,0 +1,36 @@
+// Plain-text rendering of a running configuration, for the CLI's --watch
+// mode and for debugging: one line per process (state, spec flags) and
+// one per link (queued messages, oldest first).
+//
+//   p0 [1]  GROW |string|=4                <- leader
+//   p0 -> p1 : <TOKEN,2> <TOKEN,1>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/observer.hpp"
+
+namespace hring::sim {
+
+/// Renders the full configuration visible through `view`.
+void render_configuration(const ExecutionView& view, std::ostream& out);
+
+/// One-line summary: "step 17: 2 halted, 1 leader, 5 in flight".
+[[nodiscard]] std::string render_summary(const ExecutionView& view);
+
+/// Observer printing the configuration after every step — the CLI's
+/// --watch. `every` thins the output (print each `every`-th step).
+class WatchObserver final : public Observer {
+ public:
+  WatchObserver(std::ostream& out, std::uint64_t every = 1)
+      : out_(out), every_(every == 0 ? 1 : every) {}
+
+  void on_step_end(const ExecutionView& view) override;
+
+ private:
+  std::ostream& out_;
+  std::uint64_t every_;
+};
+
+}  // namespace hring::sim

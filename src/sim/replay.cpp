@@ -1,0 +1,45 @@
+#include "sim/replay.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace hring::sim {
+
+Schedule schedule_from_trace(const TraceRecorder& trace) {
+  HRING_EXPECTS(trace.dropped() == 0);  // need the complete execution
+  Schedule schedule;
+  for (const auto& entry : trace.entries()) {
+    const std::size_t step = entry.event.step;
+    if (schedule.size() <= step) schedule.resize(step + 1);
+    schedule[step].push_back(entry.event.pid);
+  }
+  for (auto& chosen : schedule) {
+    std::sort(chosen.begin(), chosen.end());
+    HRING_ENSURES(!chosen.empty());
+  }
+  return schedule;
+}
+
+void ReplayScheduler::select(const std::vector<ProcessId>& enabled,
+                             std::vector<ProcessId>& out) {
+  if (next_ >= schedule_.size()) {
+    faithful_ = false;
+    out.insert(out.end(), enabled.begin(), enabled.end());
+    return;
+  }
+  const auto& chosen = schedule_[next_++];
+  for (const ProcessId pid : chosen) {
+    if (std::binary_search(enabled.begin(), enabled.end(), pid)) {
+      out.push_back(pid);
+    } else {
+      faithful_ = false;  // divergence from the recorded run
+    }
+  }
+  if (out.empty()) {
+    faithful_ = false;
+    out.push_back(enabled.front());
+  }
+}
+
+}  // namespace hring::sim

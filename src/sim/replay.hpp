@@ -1,0 +1,50 @@
+// Schedule recording and exact replay.
+//
+// Any step-engine execution is fully determined by which processes fired
+// at each configuration step (the algorithms are deterministic). The
+// schedule can be reconstructed from a recorded trace and replayed with
+// ReplayScheduler — bit-identical reruns of a randomized execution, for
+// regression pinning and for sharing failing schedules.
+#pragma once
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace hring::sim {
+
+/// The chosen process set of each configuration step, in step order.
+using Schedule = std::vector<std::vector<ProcessId>>;
+
+/// Reconstructs the schedule from a recorded trace: step s fired exactly
+/// the pids of the actions stamped with step s. (Steps are 0-based at
+/// fire time; the trace must be complete — use an unbounded recorder.)
+[[nodiscard]] Schedule schedule_from_trace(const TraceRecorder& trace);
+
+/// Replays a recorded schedule verbatim. The engine's fairness forcing
+/// must be effectively disabled (the replayed run already was fair), and
+/// the scheduled set must be a subset of the enabled set at every step —
+/// guaranteed when ring, algorithm and seed-independent inputs match the
+/// recording. Selecting past the end of the schedule falls back to "all
+/// enabled" (and records that it happened).
+class ReplayScheduler final : public Scheduler {
+ public:
+  explicit ReplayScheduler(Schedule schedule)
+      : schedule_(std::move(schedule)) {}
+
+  void select(const std::vector<ProcessId>& enabled,
+              std::vector<ProcessId>& out) override;
+  [[nodiscard]] const char* name() const override { return "replay"; }
+
+  /// True when every select() so far was served from the recording.
+  [[nodiscard]] bool faithful() const { return faithful_; }
+  [[nodiscard]] std::size_t position() const { return next_; }
+
+ private:
+  Schedule schedule_;
+  std::size_t next_ = 0;
+  bool faithful_ = true;
+};
+
+}  // namespace hring::sim

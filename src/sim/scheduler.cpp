@@ -1,0 +1,49 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace hring::sim {
+
+void SynchronousScheduler::select(const std::vector<ProcessId>& enabled,
+                                  std::vector<ProcessId>& out) {
+  out.insert(out.end(), enabled.begin(), enabled.end());
+}
+
+void RoundRobinScheduler::select(const std::vector<ProcessId>& enabled,
+                                 std::vector<ProcessId>& out) {
+  HRING_EXPECTS(!enabled.empty());
+  // First enabled pid >= next_, else wrap to the smallest.
+  const auto it = std::lower_bound(enabled.begin(), enabled.end(), next_);
+  const ProcessId pick = (it == enabled.end()) ? enabled.front() : *it;
+  out.push_back(pick);
+  next_ = pick + 1;
+}
+
+void RandomSingleScheduler::select(const std::vector<ProcessId>& enabled,
+                                   std::vector<ProcessId>& out) {
+  HRING_EXPECTS(!enabled.empty());
+  out.push_back(enabled[static_cast<std::size_t>(rng_.below(enabled.size()))]);
+}
+
+void RandomSubsetScheduler::select(const std::vector<ProcessId>& enabled,
+                                   std::vector<ProcessId>& out) {
+  HRING_EXPECTS(!enabled.empty());
+  const std::size_t before = out.size();
+  for (const ProcessId pid : enabled) {
+    if (rng_.chance(p_)) out.push_back(pid);
+  }
+  if (out.size() == before) {
+    out.push_back(
+        enabled[static_cast<std::size_t>(rng_.below(enabled.size()))]);
+  }
+}
+
+void ConvoyScheduler::select(const std::vector<ProcessId>& enabled,
+                             std::vector<ProcessId>& out) {
+  HRING_EXPECTS(!enabled.empty());
+  out.push_back(enabled.front());
+}
+
+}  // namespace hring::sim

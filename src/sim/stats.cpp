@@ -1,0 +1,17 @@
+#include "sim/stats.hpp"
+
+namespace hring::sim {
+
+std::string Stats::summary() const {
+  std::string out;
+  out += "steps=" + std::to_string(steps);
+  out += " actions=" + std::to_string(actions);
+  out += " time=" + std::to_string(time_units);
+  out += " sent=" + std::to_string(messages_sent);
+  out += " recv=" + std::to_string(messages_received);
+  out += " peak_space_bits=" + std::to_string(peak_space_bits);
+  out += " peak_link=" + std::to_string(peak_link_occupancy);
+  return out;
+}
+
+}  // namespace hring::sim

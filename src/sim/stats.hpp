@@ -1,0 +1,51 @@
+// Execution statistics collected by the engines.
+//
+// These are the quantities the paper's theorems bound: configuration steps
+// and synchronous rounds (Lemma 1), normalized time units (Theorems 2/4),
+// message counts (Theorems 2/4), and peak per-process space in bits
+// (Theorems 2/4). Label comparisons and message bits are supplementary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace hring::sim {
+
+struct Stats {
+  /// Configuration steps γ ↦ γ' taken (each may fire several processes).
+  std::uint64_t steps = 0;
+  /// Individual action firings.
+  std::uint64_t actions = 0;
+  /// Completion time in the paper's normalized time units. For the step
+  /// engine under the synchronous scheduler this equals `steps`; the
+  /// discrete-event engine reports the timestamp of the last action.
+  double time_units = 0.0;
+
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  /// Per-process send/receive counts (indexed by pid). Theorem 2's proof
+  /// argues the leader's receive count dominates: these expose it.
+  std::vector<std::uint64_t> sent_by_process;
+  std::vector<std::uint64_t> received_by_process;
+  std::array<std::uint64_t, kNumMsgKinds> sent_by_kind{};
+  std::array<std::uint64_t, kNumMsgKinds> received_by_kind{};
+  /// Total payload+tag bits sent (supplementary; the paper counts messages).
+  std::uint64_t message_bits_sent = 0;
+
+  /// Peak over time of max over processes of Process::space_bits().
+  std::size_t peak_space_bits = 0;
+  /// Peak number of in-flight messages on any single link.
+  std::size_t peak_link_occupancy = 0;
+  /// Label comparisons performed during the run (thread-local counter).
+  std::uint64_t label_comparisons = 0;
+  /// Faults injected by an attached FaultModel (0 when links are honest).
+  std::uint64_t faults_injected = 0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace hring::sim

@@ -1,0 +1,38 @@
+// Checked assertion macros used throughout the library.
+//
+// Unlike <cassert>, these stay enabled in every build type: the simulator is
+// the experimental instrument, and a silently-corrupt instrument produces
+// plausible-but-wrong tables. Violations abort with file/line context.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hring::support {
+
+[[noreturn]] inline void assert_fail(const char* kind, const char* expr,
+                                     const char* file, int line) {
+  std::fprintf(stderr, "hring: %s failed: %s (%s:%d)\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace hring::support
+
+// Precondition on a public API boundary.
+#define HRING_EXPECTS(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::hring::support::assert_fail("precondition", #cond, __FILE__, \
+                                          __LINE__))
+
+// Postcondition / internal result check.
+#define HRING_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::hring::support::assert_fail("postcondition", #cond, __FILE__, \
+                                          __LINE__))
+
+// Internal invariant.
+#define HRING_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::hring::support::assert_fail("invariant", #cond, __FILE__, \
+                                          __LINE__))

@@ -1,0 +1,158 @@
+#include "support/json.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace hring::support {
+
+JsonWriter::~JsonWriter() {
+  // Destruction with open containers indicates a logic error upstream,
+  // but aborting in a destructor during unwinding would be worse; the
+  // complete() accessor lets tests assert proper use.
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    HRING_EXPECTS(!top_level_written_);
+    top_level_written_ = true;
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    HRING_EXPECTS(pending_key_);  // object members need key() first
+    pending_key_ = false;
+    return;
+  }
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  HRING_EXPECTS(!stack_.empty() && stack_.back() == Frame::kObject);
+  HRING_EXPECTS(!pending_key_);
+  out_ << '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  HRING_EXPECTS(!stack_.empty() && stack_.back() == Frame::kArray);
+  out_ << ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  HRING_EXPECTS(!stack_.empty() && stack_.back() == Frame::kObject);
+  HRING_EXPECTS(!pending_key_);
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+  write_escaped(name);
+  out_ << ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  write_escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string_view(v));
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  return *this;
+}
+
+bool JsonWriter::complete() const {
+  return stack_.empty() && top_level_written_;
+}
+
+void JsonWriter::write_escaped(std::string_view v) {
+  out_ << '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"':
+        out_ << "\\\"";
+        break;
+      case '\\':
+        out_ << "\\\\";
+        break;
+      case '\n':
+        out_ << "\\n";
+        break;
+      case '\r':
+        out_ << "\\r";
+        break;
+      case '\t':
+        out_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+}  // namespace hring::support

@@ -1,0 +1,60 @@
+// Minimal JSON writer.
+//
+// Enough JSON to serialize run reports: objects, arrays, strings (with
+// escaping), integers, doubles and booleans, emitted directly to a
+// stream. Writer state is a stack of containers so misuse (closing the
+// wrong container, forgetting a key) trips an assertion rather than
+// emitting garbage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hring::support {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // Containers. At the top level exactly one value must be written.
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value; required inside objects, forbidden elsewhere.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+  /// True once a single complete top-level value has been emitted.
+  [[nodiscard]] bool complete() const;
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void write_escaped(std::string_view v);
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+  bool top_level_written_ = false;
+};
+
+}  // namespace hring::support

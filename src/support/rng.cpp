@@ -1,0 +1,7 @@
+#include "support/rng.hpp"
+
+// Header-only; this translation unit exists so the library has an archive
+// member and the header is compiled standalone at least once.
+namespace hring::support {
+static_assert(Rng::min() == 0);
+}  // namespace hring::support

@@ -1,0 +1,102 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of the library (ring generators, schedulers,
+// delay models) draws from an explicitly-seeded Rng so that each experiment
+// row and each test is reproducible from its printed seed. The generator is
+// xoshiro256** seeded via splitmix64, implemented from the public-domain
+// reference algorithms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace hring::support {
+
+/// Splitmix64 step; used for seeding and as a cheap stateless hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased via
+  /// rejection (Lemire-style threshold on the modulus).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // threshold = 2^64 mod bound, computed without 128-bit arithmetic.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  constexpr std::uint64_t in_range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double unit() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0, 1]).
+  constexpr bool chance(double p) { return unit() < p; }
+
+  /// Derives an independent child generator (for per-component streams).
+  constexpr Rng fork() {
+    const std::uint64_t a = (*this)();
+    const std::uint64_t b = (*this)();
+    return Rng(a ^ rotl(b, 32));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher-Yates shuffle of a random-access container.
+template <class Container>
+void shuffle(Container& items, Rng& rng) {
+  const std::size_t n = items.size();
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace hring::support

@@ -1,0 +1,95 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace hring::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HRING_EXPECTS(!headers_.empty());
+}
+
+Table& Table::row() {
+  HRING_EXPECTS(rows_.empty() || rows_.back().size() == headers_.size());
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  HRING_EXPECTS(!rows_.empty() && rows_.back().size() < headers_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return cell(std::string(buf));
+}
+
+void Table::print(std::ostream& out) const {
+  HRING_EXPECTS(rows_.empty() || rows_.back().size() == headers_.size());
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      // Right-align within the column width.
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) {
+        out << ' ';
+      }
+      out << cells[c];
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << '|' << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& r : rows_) emit_row(r);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  HRING_EXPECTS(rows_.empty() || rows_.back().size() == headers_.size());
+  const auto emit_cell = [&out](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      out << cell;
+      return;
+    }
+    out << '"';
+    for (const char c : cell) {
+      if (c == '"') out << '"';
+      out << c;
+    }
+    out << '"';
+  };
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      emit_cell(cells[c]);
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& r : rows_) emit_row(r);
+}
+
+}  // namespace hring::support

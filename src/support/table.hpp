@@ -1,0 +1,44 @@
+// Console table printer used by the benchmark harness to emit the
+// paper-style tables (EXPERIMENTS.md rows). Columns are right-aligned,
+// widths are computed from the data, and the output is stable so bench
+// output files diff cleanly between runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hring::support {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+  /// Fixed-point with `digits` decimals (benches use 2-3).
+  Table& cell(double value, int digits = 2);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table (header, rule, rows) to `out`.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (header row first). Cells containing commas, quotes
+  /// or newlines are quoted per RFC 4180.
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hring::support

@@ -1,0 +1,66 @@
+// Periods and repeating prefixes of label sequences (§IV, "Sequences of
+// Labels").
+//
+// The paper defines: π = σ_m (the length-m prefix) is a *repeating prefix*
+// of σ if σ[i] = π[1 + (i-1) mod m] for all i, i.e. σ is a truncation of the
+// infinite repetition πππ…  srp(σ) is the repeating prefix of minimum
+// length. A prefix of length m is repeating exactly when m is a *period* of
+// σ in the classical string sense (σ[i] = σ[i+m] whenever both sides exist),
+// so |srp(σ)| is the smallest period, computable from the KMP border array
+// as |σ| − border(σ).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "words/label.hpp"
+
+namespace hring::words {
+
+/// KMP border (failure-function) array: out[i] = length of the longest
+/// proper border of the prefix of length i+1, for i in [0, n).
+[[nodiscard]] std::vector<std::size_t> border_array(const LabelSequence& seq);
+
+/// Smallest period of `seq` (= |srp(seq)|). Requires a non-empty sequence.
+[[nodiscard]] std::size_t smallest_period(const LabelSequence& seq);
+
+/// Reference O(n^2) smallest period: tries each m = 1..n in order and
+/// returns the first m with is_period(seq, m). For cross-checking.
+[[nodiscard]] std::size_t smallest_period_naive(const LabelSequence& seq);
+
+/// The paper's srp(σ): the shortest repeating prefix, as a copy.
+/// Requires a non-empty sequence.
+[[nodiscard]] LabelSequence srp(const LabelSequence& seq);
+
+/// True iff `period` is a period of `seq` (direct definitional check).
+/// Requires 1 <= period.
+[[nodiscard]] bool is_period(const LabelSequence& seq, std::size_t period);
+
+/// Maintains the smallest period of a growing sequence online. push_back is
+/// amortized O(1); A_k consults period() after every received token, so the
+/// naive per-message recomputation would cost O(|σ|) each (ablated in
+/// bench_micro).
+class IncrementalPeriod {
+ public:
+  IncrementalPeriod() = default;
+
+  /// Appends one label, updating the border array incrementally.
+  void push_back(Label label);
+
+  [[nodiscard]] std::size_t size() const { return seq_.size(); }
+  [[nodiscard]] const LabelSequence& sequence() const { return seq_; }
+
+  /// Smallest period of the current sequence. Requires size() > 0.
+  [[nodiscard]] std::size_t period() const;
+
+  /// Border length of the whole current sequence (0 for empty).
+  [[nodiscard]] std::size_t border() const {
+    return border_.empty() ? 0 : border_.back();
+  }
+
+ private:
+  LabelSequence seq_;
+  std::vector<std::size_t> border_;
+};
+
+}  // namespace hring::words

@@ -1,0 +1,61 @@
+#include "words/zfunction.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace hring::words {
+
+std::vector<std::size_t> z_array(const LabelSequence& seq) {
+  const std::size_t n = seq.size();
+  std::vector<std::size_t> z(n, 0);
+  if (n == 0) return z;
+  z[0] = n;
+  // [l, r) is the rightmost Z-box seen so far.
+  std::size_t l = 0;
+  std::size_t r = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (i < r) z[i] = std::min(r - i, z[i - l]);
+    while (i + z[i] < n && seq[z[i]] == seq[i + z[i]]) ++z[i];
+    if (i + z[i] > r) {
+      l = i;
+      r = i + z[i];
+    }
+  }
+  return z;
+}
+
+std::vector<std::size_t> z_array_naive(const LabelSequence& seq) {
+  const std::size_t n = seq.size();
+  std::vector<std::size_t> z(n, 0);
+  if (n == 0) return z;
+  z[0] = n;
+  for (std::size_t i = 1; i < n; ++i) {
+    while (i + z[i] < n && seq[z[i]] == seq[i + z[i]]) ++z[i];
+  }
+  return z;
+}
+
+std::size_t smallest_period_z(const LabelSequence& seq) {
+  HRING_EXPECTS(!seq.empty());
+  const auto z = z_array(seq);
+  const std::size_t n = seq.size();
+  for (std::size_t p = 1; p < n; ++p) {
+    if (p + z[p] == n) return p;
+  }
+  return n;
+}
+
+std::vector<std::size_t> all_periods(const LabelSequence& seq) {
+  HRING_EXPECTS(!seq.empty());
+  const auto z = z_array(seq);
+  const std::size_t n = seq.size();
+  std::vector<std::size_t> periods;
+  for (std::size_t p = 1; p < n; ++p) {
+    if (p + z[p] == n) periods.push_back(p);
+  }
+  periods.push_back(n);
+  return periods;
+}
+
+}  // namespace hring::words

@@ -1,0 +1,31 @@
+// Z-function: an independent periodicity primitive.
+//
+// z[i] = length of the longest common prefix of σ and σ[i..). The Z array
+// yields the smallest period as min{ p >= 1 : p + z[p] == n } (or n if
+// none) — a derivation independent of the KMP border array, used as a
+// cross-check of the srp machinery A_k's correctness rides on, and as an
+// alternative backend where prefix matching is the natural phrasing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "words/label.hpp"
+
+namespace hring::words {
+
+/// Z array of `seq`; z[0] = n by convention. Empty for empty input. O(n).
+[[nodiscard]] std::vector<std::size_t> z_array(const LabelSequence& seq);
+
+/// Reference O(n^2) Z computation, for cross-checking.
+[[nodiscard]] std::vector<std::size_t> z_array_naive(
+    const LabelSequence& seq);
+
+/// Smallest period computed from the Z array; must equal
+/// periodicity.hpp's smallest_period. Requires a non-empty sequence.
+[[nodiscard]] std::size_t smallest_period_z(const LabelSequence& seq);
+
+/// All periods of `seq` (ascending, ends with |seq|), from the Z array.
+[[nodiscard]] std::vector<std::size_t> all_periods(const LabelSequence& seq);
+
+}  // namespace hring::words

@@ -1,0 +1,180 @@
+// Deeper A_k properties: the claims inside Theorem 2's proof and the §IV
+// lemmas, checked on live executions (not just the end state).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/election_driver.hpp"
+#include "core/experiment.hpp"
+#include "election/ak.hpp"
+#include "ring/generator.hpp"
+#include "sim/engine.hpp"
+#include "words/lyndon.hpp"
+#include "words/periodicity.hpp"
+
+namespace hring::election {
+namespace {
+
+using core::ElectionConfig;
+
+/// Observer checking, after every step, that every A_k string is a prefix
+/// of LLabels(p) and stays under the proof's length bound (2k+1)n.
+class AkStringMonitor final : public sim::Observer {
+ public:
+  AkStringMonitor(const ring::LabeledRing& ring, std::size_t k)
+      : ring_(ring), bound_((2 * k + 1) * ring.size()) {}
+
+  void on_step_end(const sim::ExecutionView& view) override {
+    for (sim::ProcessId pid = 0; pid < view.process_count(); ++pid) {
+      const auto& proc =
+          dynamic_cast<const AkProcess&>(view.process(pid));
+      const auto& s = proc.grown_string();
+      ASSERT_LE(s.size(), bound_)
+          << "p" << pid << " string exceeded (2k+1)n";
+      // Prefix check against LLabels(p), O(1) amortized: compare only the
+      // last appended element (earlier ones were checked in prior steps).
+      if (!s.empty()) {
+        const std::size_t n = ring_.size();
+        const std::size_t t = s.size() - 1;
+        EXPECT_EQ(s.back(), ring_.label((pid + n - (t % n)) % n))
+            << "p" << pid << " position " << t;
+      }
+    }
+  }
+
+ private:
+  const ring::LabeledRing& ring_;
+  std::size_t bound_;
+};
+
+TEST(AkPropertyTest, StringsAreLLabelsPrefixesThroughoutTheRun) {
+  support::Rng rng(0xA0);
+  for (int rep = 0; rep < 6; ++rep) {
+    const std::size_t n = 3 + rng.below(8);
+    const std::size_t k = 1 + rng.below(3);
+    const auto ring =
+        ring::random_asymmetric_ring(n, k, (n + k - 1) / k + 2, rng);
+    ASSERT_TRUE(ring.has_value());
+    AkStringMonitor monitor(*ring, k);
+    sim::RoundRobinScheduler sched;
+    sim::StepEngine engine(*ring, AkProcess::factory(k), sched);
+    engine.add_observer(&monitor);
+    ASSERT_EQ(engine.run().outcome, sim::Outcome::kTerminated)
+        << ring->to_string();
+  }
+}
+
+TEST(AkPropertyTest, LeaderStringHas2kPlus1CopiesAtElection) {
+  // The A3 guard: when L elects, its string contains >= 2k+1 copies of
+  // some label (Lemma 6's hypothesis).
+  const std::size_t k = 2;
+  const auto ring = ring::LabeledRing::from_values({1, 3, 2, 3, 2});
+  sim::SynchronousScheduler sched;
+  sim::StepEngine engine(ring, AkProcess::factory(k), sched);
+  ASSERT_EQ(engine.run().outcome, sim::Outcome::kTerminated);
+  for (sim::ProcessId pid = 0; pid < ring.size(); ++pid) {
+    const auto& proc = dynamic_cast<const AkProcess&>(engine.process(pid));
+    if (!proc.is_leader()) continue;
+    std::size_t best = 0;
+    for (const auto l : proc.grown_string()) {
+      best = std::max(best,
+                      words::count_occurrences(proc.grown_string(), l));
+    }
+    EXPECT_GE(best, 2 * k + 1);
+    // And Lemma 6: the string then fully determines R.
+    const auto prefix = words::srp(proc.grown_string());
+    EXPECT_EQ(prefix.size(), ring.size());
+    EXPECT_TRUE(words::is_lyndon(prefix));
+  }
+}
+
+TEST(AkPropertyTest, ExactlyNFinishMessages) {
+  // ⟨FINISH⟩ traverses the ring exactly once: n sends, n receives.
+  support::Rng rng(0xA1);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t n = 2 + rng.below(12);
+    const std::size_t k = 1 + rng.below(3);
+    const auto ring =
+        ring::random_asymmetric_ring(n, k, (n + k - 1) / k + 2, rng);
+    ASSERT_TRUE(ring.has_value());
+    ElectionConfig config;
+    config.algorithm = {AlgorithmId::kAk, k, false};
+    const auto m = core::measure(*ring, config);
+    ASSERT_TRUE(m.ok());
+    const auto finish = sim::kind_index(sim::MsgKind::kFinish);
+    EXPECT_EQ(m.result.stats.sent_by_kind[finish], n) << ring->to_string();
+    EXPECT_EQ(m.result.stats.received_by_kind[finish], n)
+        << ring->to_string();
+  }
+}
+
+TEST(AkPropertyTest, AllSentMessagesAreReceived) {
+  // "When the execution halts, all sent messages have been received"
+  // (Theorem 2's proof premise) — for every daemon.
+  support::Rng rng(0xA2);
+  for (const auto sched :
+       {core::SchedulerKind::kSynchronous, core::SchedulerKind::kRoundRobin,
+        core::SchedulerKind::kRandomSubset}) {
+    const auto ring = ring::random_asymmetric_ring(9, 2, 7, rng);
+    ASSERT_TRUE(ring.has_value());
+    ElectionConfig config;
+    config.algorithm = {AlgorithmId::kAk, 2, false};
+    config.scheduler = sched;
+    config.seed = rng();
+    const auto m = core::measure(*ring, config);
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ(m.result.stats.messages_sent,
+              m.result.stats.messages_received);
+  }
+}
+
+TEST(AkPropertyTest, IncrementalPredicateMatchesDefinitional) {
+  // The process-internal incremental Leader(σ) must agree with the
+  // definitional leader_predicate on every prefix a process ever holds.
+  // Randomized: feed the same label stream into both.
+  support::Rng rng(0xA3);
+  for (int rep = 0; rep < 30; ++rep) {
+    const std::size_t k = 1 + rng.below(3);
+    const std::size_t len = 3 + rng.below(40);
+    words::LabelSequence stream;
+    for (std::size_t i = 0; i < len; ++i) {
+      stream.emplace_back(rng.below(3) + 1);
+    }
+    // Incremental evaluation mirrors append_and_test's structure.
+    words::IncrementalPeriod inc;
+    std::map<words::Label::rep_type, std::size_t> counts;
+    std::size_t max_count = 0;
+    words::LabelSequence prefix;
+    for (const auto label : stream) {
+      inc.push_back(label);
+      max_count = std::max(max_count, ++counts[label.value()]);
+      prefix.push_back(label);
+      bool incremental = false;
+      if (max_count >= 2 * k + 1) {
+        const auto p = inc.period();
+        const words::LabelSequence head(
+            prefix.begin(), prefix.begin() + static_cast<std::ptrdiff_t>(p));
+        incremental = words::is_lyndon(head);
+      }
+      EXPECT_EQ(incremental, leader_predicate(prefix, k))
+          << words::to_string(prefix) << " k=" << k;
+    }
+  }
+}
+
+TEST(AkPropertyTest, TokenSendsBoundedByMessageTheorem) {
+  // Token traffic alone obeys n²(2k+1): FINISH adds the +n.
+  support::Rng rng(0xA4);
+  const auto ring = ring::random_asymmetric_ring(12, 3, 7, rng);
+  ASSERT_TRUE(ring.has_value());
+  ElectionConfig config;
+  config.algorithm = {AlgorithmId::kAk, 3, false};
+  const auto m = core::measure(*ring, config);
+  ASSERT_TRUE(m.ok());
+  const auto tokens =
+      m.result.stats.sent_by_kind[sim::kind_index(sim::MsgKind::kToken)];
+  EXPECT_LE(tokens, 12u * 12u * 7u);
+}
+
+}  // namespace
+}  // namespace hring::election

@@ -1,0 +1,141 @@
+// Cross-validation: A_k and B_k must agree on the elected process — both
+// elect the true leader — across rings, engines, schedulers and delay
+// models; and the identity of the winner must be independent of the
+// daemon (determinism of the specification, not of the execution).
+#include <gtest/gtest.h>
+
+#include "core/election_driver.hpp"
+#include "core/experiment.hpp"
+#include "ring/generator.hpp"
+
+namespace hring {
+namespace {
+
+using core::DelayKind;
+using core::ElectionConfig;
+using core::EngineKind;
+using core::SchedulerKind;
+using election::AlgorithmId;
+
+TEST(CrossAlgorithmTest, AkAndBkElectTheSameProcess) {
+  support::Rng rng(0xC405);
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::size_t n = 2 + rng.below(14);
+    const std::size_t k = 1 + rng.below(3);
+    const std::size_t alphabet = (n + k - 1) / k + 2;
+    const auto ring = ring::random_asymmetric_ring(n, k, alphabet, rng);
+    ASSERT_TRUE(ring.has_value());
+
+    ElectionConfig ak;
+    ak.algorithm = {AlgorithmId::kAk, k, false};
+    ElectionConfig bk;
+    bk.algorithm = {AlgorithmId::kBk, k, false};
+
+    const auto ma = core::measure(*ring, ak);
+    const auto mb = core::measure(*ring, bk);
+    ASSERT_TRUE(ma.ok()) << ring->to_string();
+    ASSERT_TRUE(mb.ok()) << ring->to_string();
+    EXPECT_EQ(ma.result.leader_pid(), mb.result.leader_pid())
+        << ring->to_string();
+    EXPECT_EQ(ma.result.leader_pid(),
+              std::optional<sim::ProcessId>(ring->true_leader()));
+  }
+}
+
+TEST(CrossAlgorithmTest, WinnerIndependentOfScheduler) {
+  support::Rng rng(0x1dd);
+  const auto ring = ring::random_asymmetric_ring(11, 2, 8, rng);
+  ASSERT_TRUE(ring.has_value());
+  const auto expected = ring->true_leader();
+  for (const auto algo : {AlgorithmId::kAk, AlgorithmId::kBk}) {
+    for (const auto sched :
+         {SchedulerKind::kSynchronous, SchedulerKind::kRoundRobin,
+          SchedulerKind::kRandomSingle, SchedulerKind::kRandomSubset,
+          SchedulerKind::kConvoy}) {
+      for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        ElectionConfig config;
+        config.algorithm = {algo, 2, false};
+        config.scheduler = sched;
+        config.seed = seed;
+        const auto m = core::measure(*ring, config);
+        ASSERT_TRUE(m.ok())
+            << election::algorithm_name(algo) << "/"
+            << core::scheduler_kind_name(sched) << " seed " << seed;
+        EXPECT_EQ(m.result.leader_pid(),
+                  std::optional<sim::ProcessId>(expected));
+      }
+    }
+  }
+}
+
+TEST(CrossAlgorithmTest, WinnerIndependentOfDelayModel) {
+  support::Rng rng(0xde1a);
+  const auto ring = ring::random_asymmetric_ring(9, 3, 6, rng);
+  ASSERT_TRUE(ring.has_value());
+  const auto expected = ring->true_leader();
+  for (const auto algo : {AlgorithmId::kAk, AlgorithmId::kBk}) {
+    for (const auto delay :
+         {DelayKind::kWorstCase, DelayKind::kUniformRandom,
+          DelayKind::kSlowLink}) {
+      ElectionConfig config;
+      config.algorithm = {algo, 3, false};
+      config.engine = EngineKind::kEvent;
+      config.delay = delay;
+      config.seed = 7;
+      const auto m = core::measure(*ring, config);
+      ASSERT_TRUE(m.ok()) << election::algorithm_name(algo) << "/"
+                          << core::delay_kind_name(delay);
+      EXPECT_EQ(m.result.leader_pid(),
+                std::optional<sim::ProcessId>(expected));
+    }
+  }
+}
+
+TEST(CrossAlgorithmTest, StepAndEventEnginesAgree) {
+  support::Rng rng(0xe2e);
+  for (int rep = 0; rep < 15; ++rep) {
+    const std::size_t n = 2 + rng.below(10);
+    const std::size_t k = 1 + rng.below(3);
+    const auto ring =
+        ring::random_asymmetric_ring(n, k, (n + k - 1) / k + 2, rng);
+    ASSERT_TRUE(ring.has_value());
+    for (const auto algo : {AlgorithmId::kAk, AlgorithmId::kBk}) {
+      ElectionConfig step;
+      step.algorithm = {algo, k, false};
+      step.engine = EngineKind::kStep;
+      ElectionConfig event = step;
+      event.engine = EngineKind::kEvent;
+      const auto ms = core::measure(*ring, step);
+      const auto me = core::measure(*ring, event);
+      ASSERT_TRUE(ms.ok() && me.ok()) << ring->to_string();
+      EXPECT_EQ(ms.result.leader_pid(), me.result.leader_pid());
+      // Message behaviour is delay-independent for these algorithms under
+      // the synchronous daemon vs unit delays: both equal the worst case.
+      EXPECT_EQ(ms.result.stats.messages_sent,
+                me.result.stats.messages_sent)
+          << election::algorithm_name(algo) << " on " << ring->to_string();
+    }
+  }
+}
+
+TEST(CrossAlgorithmTest, TradeoffHoldsAkFasterBkSmaller) {
+  // The headline trade-off (abstract): A_k is asymptotically faster; B_k
+  // uses asymptotically less space. Check the direction on a mid-size ring.
+  support::Rng rng(0x7a0f);
+  const auto ring = ring::random_asymmetric_ring(24, 3, 11, rng);
+  ASSERT_TRUE(ring.has_value());
+  ElectionConfig ak;
+  ak.algorithm = {AlgorithmId::kAk, 3, false};
+  ak.engine = EngineKind::kEvent;
+  ElectionConfig bk = ak;
+  bk.algorithm = {AlgorithmId::kBk, 3, false};
+  const auto ma = core::measure(*ring, ak);
+  const auto mb = core::measure(*ring, bk);
+  ASSERT_TRUE(ma.ok() && mb.ok());
+  EXPECT_LT(ma.result.stats.time_units, mb.result.stats.time_units);
+  EXPECT_LT(mb.result.stats.peak_space_bits,
+            ma.result.stats.peak_space_bits);
+}
+
+}  // namespace
+}  // namespace hring

@@ -1,0 +1,95 @@
+// Experiment E1: the Ω(kn) lower bound (Lemma 1, Corollaries 2 and 4).
+//
+// Lemma 1: any algorithm correct for U* ∩ K_k runs for at least
+// 1 + (k-2)·n synchronous steps on every K_1 ring of n processes. A_k and
+// B_k are correct for the larger class A ∩ K_k, so their synchronous
+// executions on distinct-label rings must respect the bound — and they do,
+// with measured step counts tracking k·n (asymptotic optimality of A_k,
+// the paper's central positive claim).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/election_driver.hpp"
+#include "core/experiment.hpp"
+#include "ring/generator.hpp"
+
+namespace hring {
+namespace {
+
+using core::ElectionConfig;
+using election::AlgorithmId;
+
+class LowerBoundSweep
+    : public ::testing::TestWithParam<
+          std::tuple<AlgorithmId, std::size_t, std::size_t>> {};
+
+TEST_P(LowerBoundSweep, SynchronousStepsRespectLemma1) {
+  const auto [algo, n, k] = GetParam();
+  const auto ring = ring::sequential_ring(n);
+  ElectionConfig config;
+  config.algorithm = {algo, k, false};
+  config.scheduler = core::SchedulerKind::kSynchronous;
+  const auto m = core::measure(ring, config);
+  ASSERT_TRUE(m.ok()) << m.verification.to_string();
+  EXPECT_GE(m.result.stats.steps, core::lower_bound_steps(n, k))
+      << election::algorithm_name(algo) << " n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LowerBoundSweep,
+    ::testing::Combine(::testing::Values(AlgorithmId::kAk, AlgorithmId::kBk),
+                       ::testing::Values<std::size_t>(4, 8, 16, 32),
+                       ::testing::Values<std::size_t>(2, 3, 5, 8)),
+    [](const auto& pinfo) {
+      return std::string(election::algorithm_name(std::get<0>(pinfo.param))) +
+             "_n" + std::to_string(std::get<1>(pinfo.param)) + "_k" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(LowerBoundTest, AkTimeIsThetaKn) {
+  // Upper bound (2k+2)n and lower bound 1+(k-2)n sandwich A_k's
+  // synchronous step count: the measured value must scale linearly in k.
+  const std::size_t n = 16;
+  const auto ring = ring::sequential_ring(n);
+  std::uint64_t prev = 0;
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    ElectionConfig config;
+    config.algorithm = {AlgorithmId::kAk, k, false};
+    const auto m = core::measure(ring, config);
+    ASSERT_TRUE(m.ok());
+    const std::uint64_t steps = m.result.stats.steps;
+    EXPECT_GE(steps, core::lower_bound_steps(n, k));
+    EXPECT_LE(static_cast<double>(steps), core::ak_time_bound(n, k));
+    if (prev != 0) {
+      // Doubling k should roughly double the time (within 3x slack).
+      EXPECT_GT(steps, prev);
+      EXPECT_LT(steps, 3 * prev);
+    }
+    prev = steps;
+  }
+}
+
+TEST(LowerBoundTest, BoundFormulaSpotChecks) {
+  EXPECT_EQ(core::lower_bound_steps(10, 2), 1u);
+  EXPECT_EQ(core::lower_bound_steps(10, 3), 11u);
+  EXPECT_EQ(core::lower_bound_steps(5, 6), 21u);
+}
+
+TEST(LowerBoundTest, LabelPermutationDoesNotBreakTheBound) {
+  support::Rng rng(0x10eb);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto ring = ring::distinct_ring(12, rng);
+    for (const auto algo : {AlgorithmId::kAk, AlgorithmId::kBk}) {
+      ElectionConfig config;
+      config.algorithm = {algo, 4, false};
+      const auto m = core::measure(ring, config);
+      ASSERT_TRUE(m.ok()) << ring.to_string();
+      EXPECT_GE(m.result.stats.steps, core::lower_bound_steps(12, 4))
+          << election::algorithm_name(algo) << " on " << ring.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hring

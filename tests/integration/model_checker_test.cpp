@@ -1,0 +1,119 @@
+// Exhaustive verification of A_k and B_k on small rings: EVERY
+// asynchronous schedule, not a sample. This is the strongest correctness
+// statement the repository makes about the algorithms.
+#include <gtest/gtest.h>
+
+#include "core/model_checker.hpp"
+#include "ring/classes.hpp"
+#include "ring/fooling.hpp"
+#include "ring/generator.hpp"
+
+namespace hring::core {
+namespace {
+
+using election::AlgorithmId;
+
+TEST(ModelCheckerTest, AkOnRemark122AllSchedules) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 2});
+  const auto report =
+      check_all_schedules(ring, {AlgorithmId::kAk, 2, false});
+  EXPECT_TRUE(report.complete) << report.to_string();
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_GT(report.configurations, 50u);  // genuinely many interleavings
+  EXPECT_GE(report.terminal_configurations, 1u);
+}
+
+TEST(ModelCheckerTest, BkOnRemark122AllSchedules) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 2});
+  const auto report =
+      check_all_schedules(ring, {AlgorithmId::kBk, 2, false});
+  EXPECT_TRUE(report.complete) << report.to_string();
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_GE(report.terminal_configurations, 1u);
+}
+
+TEST(ModelCheckerTest, EveryAsymmetricTernaryTriangle) {
+  // All canonical asymmetric rings with n = 3 over 3 labels, both
+  // algorithms, k = the ring's actual multiplicity: exhaustively correct.
+  const auto rings = ring::enumerate_rings(3, 3, /*asymmetric_only=*/true,
+                                           /*canonical_only=*/true);
+  ASSERT_FALSE(rings.empty());
+  for (const auto& r : rings) {
+    for (const auto algo : {AlgorithmId::kAk, AlgorithmId::kBk}) {
+      const auto report = check_all_schedules(
+          r, {algo, r.max_multiplicity(), false});
+      EXPECT_TRUE(report.complete)
+          << election::algorithm_name(algo) << " on " << r.to_string();
+      EXPECT_TRUE(report.ok) << election::algorithm_name(algo) << " on "
+                             << r.to_string() << "\n"
+                             << report.to_string();
+    }
+  }
+}
+
+TEST(ModelCheckerTest, FourProcessDistinctRing) {
+  const auto ring = ring::LabeledRing::from_values({3, 1, 4, 2});
+  for (const auto algo : {AlgorithmId::kAk, AlgorithmId::kBk}) {
+    const auto report = check_all_schedules(ring, {algo, 1, false});
+    EXPECT_TRUE(report.complete)
+        << election::algorithm_name(algo) << ": " << report.to_string();
+    EXPECT_TRUE(report.ok)
+        << election::algorithm_name(algo) << ": " << report.to_string();
+  }
+}
+
+TEST(ModelCheckerTest, FourProcessHomonymRing) {
+  const auto ring = ring::LabeledRing::from_values({2, 1, 2, 1});
+  ASSERT_FALSE(ring::in_class_A(ring));  // symmetric: must NOT verify
+  const auto report = check_all_schedules(ring, {AlgorithmId::kBk, 2,
+                                                 false},
+                                          ModelCheckConfig{200'000, false});
+  // On a symmetric ring, either a violation is found or exploration never
+  // reaches a clean single-leader terminal; both falsify correctness.
+  EXPECT_FALSE(report.ok && report.terminal_configurations > 0 &&
+               report.complete)
+      << report.to_string();
+}
+
+TEST(ModelCheckerTest, CatchesTheFoolingRingViolation) {
+  // The Lemma 1 construction on a 2-process base with k' = 5, checked
+  // against A_1: the checker must find the multi-leader violation some
+  // schedule produces.
+  const auto base = ring::LabeledRing::from_values({1, 2});
+  const auto fooled = ring::fooling_ring(base, 5);  // 11 processes
+  ModelCheckConfig config;
+  config.max_configurations = 150'000;
+  config.check_true_leader = false;
+  const auto report =
+      check_all_schedules(fooled, {AlgorithmId::kAk, 1, false}, config);
+  EXPECT_FALSE(report.ok) << report.to_string();
+  bool multi = false;
+  for (const auto& v : report.violations) {
+    if (v.find("simultaneous leaders") != std::string::npos ||
+        v.find("no leader carries") != std::string::npos) {
+      multi = true;
+    }
+  }
+  EXPECT_TRUE(multi) << report.to_string();
+}
+
+TEST(ModelCheckerTest, BudgetExhaustionIsReportedHonestly) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 2});
+  ModelCheckConfig config;
+  config.max_configurations = 10;
+  const auto report =
+      check_all_schedules(ring, {AlgorithmId::kAk, 2, false}, config);
+  EXPECT_FALSE(report.complete);
+  EXPECT_LE(report.configurations, 11u);
+}
+
+TEST(ModelCheckerTest, ReportToStringMentionsOutcome) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 2});
+  const auto report =
+      check_all_schedules(ring, {AlgorithmId::kAk, 2, false});
+  EXPECT_NE(report.to_string().find("OK"), std::string::npos);
+  EXPECT_NE(report.to_string().find("exhaustive"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hring::core

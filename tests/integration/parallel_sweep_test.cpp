@@ -1,0 +1,109 @@
+#include "core/parallel_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/experiment.hpp"
+#include "ring/generator.hpp"
+
+namespace hring::core {
+namespace {
+
+TEST(ParallelMapTest, EmptyTaskSet) {
+  const auto out = parallel_map<int>(0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelMapTest, ResultsIndexedByTask) {
+  const auto out = parallel_map<std::size_t>(
+      100, [](std::size_t i) { return i * i; }, 4);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelMapTest, IndependentOfWorkerCount) {
+  const auto task = [](std::size_t i) {
+    // Deterministic per-index randomness, as the library prescribes.
+    support::Rng rng(i);
+    return rng();
+  };
+  const auto serial = parallel_map<std::uint64_t>(64, task, 1);
+  for (const std::size_t workers : {2u, 3u, 8u, 17u}) {
+    EXPECT_EQ(parallel_map<std::uint64_t>(64, task, workers), serial)
+        << workers << " workers";
+  }
+}
+
+TEST(ParallelMapTest, PropagatesFirstException) {
+  EXPECT_THROW(parallel_map<int>(
+                   50,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                     return 0;
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(ParallelMapTest, SingleWorkerFallback) {
+  const auto out =
+      parallel_map<int>(5, [](std::size_t i) { return static_cast<int>(i); },
+                        1);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelMapTest, ElectionGridMatchesSerial) {
+  // A realistic grid: 24 elections across n/k/seed cells. Statistics must
+  // be identical however many workers compute them — engine state is
+  // thread-confined and all randomness is per-cell.
+  struct Cell {
+    std::uint64_t messages;
+    std::optional<sim::ProcessId> leader;
+    bool ok;
+  };
+  const auto task = [](std::size_t i) {
+    const std::size_t n = 4 + (i % 6) * 3;
+    const std::size_t k = 1 + (i % 3);
+    support::Rng rng(1000 + i);
+    const auto ring =
+        ring::random_asymmetric_ring(n, k, (n + k - 1) / k + 2, rng);
+    ElectionConfig config;
+    config.algorithm = {election::AlgorithmId::kAk, k, false};
+    const auto m = measure(*ring, config);
+    return Cell{m.result.stats.messages_sent, m.result.leader_pid(),
+                m.ok()};
+  };
+  const auto serial = parallel_map<Cell>(24, task, 1);
+  const auto parallel = parallel_map<Cell>(24, task, 4);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok) << i;
+    EXPECT_EQ(serial[i].messages, parallel[i].messages) << i;
+    EXPECT_EQ(serial[i].leader, parallel[i].leader) << i;
+    EXPECT_TRUE(parallel[i].ok) << i;
+  }
+}
+
+TEST(ParallelMapTest, LabelComparisonCountsAreThreadConfined) {
+  // Each task's run_election resets/reads the thread-local comparison
+  // counter; parallel execution must report the same per-run counts.
+  const auto task = [](std::size_t i) {
+    support::Rng rng(i + 7);
+    const auto ring = ring::distinct_ring(8, rng);
+    ElectionConfig config;
+    config.algorithm = {election::AlgorithmId::kBk, 1, false};
+    return run_election(ring, config).stats.label_comparisons;
+  };
+  const auto serial = parallel_map<std::uint64_t>(12, task, 1);
+  const auto parallel = parallel_map<std::uint64_t>(12, task, 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelMapTest, DefaultWorkerCountPositive) {
+  EXPECT_GE(default_worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hring::core

@@ -1,0 +1,77 @@
+// Experiment E8: the paper's closing remark — the ring with labels
+// (1, 2, 2) is process-terminating electable in this model (knowing k and
+// the orientation), although the models of [4] and [9] cannot solve it.
+// We verify both algorithms elect its true leader under every daemon, and
+// that the ring sits exactly where the remark places it: in A ∩ K_2 and
+// U*, with |L| = 2 not exceeding the requirements of Delporte et al.
+#include <gtest/gtest.h>
+
+#include "core/election_driver.hpp"
+#include "core/experiment.hpp"
+#include "ring/classes.hpp"
+
+namespace hring {
+namespace {
+
+using core::ElectionConfig;
+using election::AlgorithmId;
+
+ring::LabeledRing remark_ring() {
+  return ring::LabeledRing::from_values({1, 2, 2});
+}
+
+TEST(Remark122Test, ClassMembership) {
+  const auto ring = remark_ring();
+  EXPECT_TRUE(ring::in_class_A(ring));
+  EXPECT_TRUE(ring::in_class_Ustar(ring));
+  EXPECT_TRUE(ring::in_class_Kk(ring, 2));
+  EXPECT_FALSE(ring::in_class_K1(ring));
+  EXPECT_EQ(ring.distinct_labels(), 2u);
+}
+
+TEST(Remark122Test, TrueLeaderIsTheUniqueLabel) {
+  EXPECT_EQ(remark_ring().true_leader(), 0u);
+}
+
+TEST(Remark122Test, BothAlgorithmsElectUnderEveryDaemon) {
+  for (const auto algo : {AlgorithmId::kAk, AlgorithmId::kBk}) {
+    for (const auto sched :
+         {core::SchedulerKind::kSynchronous, core::SchedulerKind::kRoundRobin,
+          core::SchedulerKind::kRandomSingle,
+          core::SchedulerKind::kRandomSubset, core::SchedulerKind::kConvoy}) {
+      ElectionConfig config;
+      config.algorithm = {algo, 2, false};
+      config.scheduler = sched;
+      config.seed = 3;
+      const auto m = core::measure(remark_ring(), config);
+      EXPECT_TRUE(m.ok()) << election::algorithm_name(algo) << "/"
+                          << core::scheduler_kind_name(sched) << "\n"
+                          << m.verification.to_string();
+      EXPECT_EQ(m.result.leader_pid(), std::optional<sim::ProcessId>(0));
+    }
+  }
+}
+
+TEST(Remark122Test, EventEngineAgrees) {
+  for (const auto algo : {AlgorithmId::kAk, AlgorithmId::kBk}) {
+    ElectionConfig config;
+    config.algorithm = {algo, 2, false};
+    config.engine = core::EngineKind::kEvent;
+    const auto m = core::measure(remark_ring(), config);
+    EXPECT_TRUE(m.ok()) << m.verification.to_string();
+    EXPECT_EQ(m.result.leader_pid(), std::optional<sim::ProcessId>(0));
+  }
+}
+
+TEST(Remark122Test, EveryProcessLearnsLabelOne) {
+  ElectionConfig config;
+  config.algorithm = {AlgorithmId::kAk, 2, false};
+  const auto result = core::run_election(remark_ring(), config);
+  for (const auto& p : result.processes) {
+    ASSERT_TRUE(p.leader.has_value());
+    EXPECT_EQ(p.leader->value(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace hring

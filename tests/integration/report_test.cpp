@@ -1,0 +1,55 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "ring/labeled_ring.hpp"
+
+namespace hring::core {
+namespace {
+
+TEST(ReportTest, JsonContainsTheRunFacts) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 2});
+  ElectionConfig config;
+  config.algorithm = {election::AlgorithmId::kAk, 2, false};
+  const auto result = run_election(ring, config);
+  const auto verification = verify_election(ring, result, true);
+
+  std::ostringstream out;
+  write_json_report(out, ring, config, result, verification);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"labels\":[1,2,2]"), std::string::npos);
+  EXPECT_NE(json.find("\"algorithm\":\"Ak\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"terminated\""), std::string::npos);
+  EXPECT_NE(json.find("\"is_leader\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"messages_sent\":27"), std::string::npos);
+  EXPECT_NE(json.find("\"asymmetric\":true"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness sanity; the writer's
+  // own tests cover escaping and structure).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ReportTest, ViolationRunsSerializeTheirViolations) {
+  const auto ring = ring::LabeledRing::from_values({7, 3, 7, 3});
+  ElectionConfig config;
+  config.algorithm = {election::AlgorithmId::kChangRoberts, 1, false};
+  const auto result = run_election(ring, config);
+  const auto verification = verify_election(ring, result, false);
+
+  std::ostringstream out;
+  write_json_report(out, ring, config, result, verification);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"outcome\":\"violation\""), std::string::npos);
+  EXPECT_NE(json.find("simultaneous leaders"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hring::core

@@ -1,0 +1,125 @@
+// Negative-path coverage of the terminal-state verifier: every clause
+// must actually fire on a doctored RunResult.
+#include <gtest/gtest.h>
+
+#include "core/verification.hpp"
+#include "ring/labeled_ring.hpp"
+
+namespace hring::core {
+namespace {
+
+using sim::Outcome;
+using sim::ProcessSnapshot;
+using sim::RunResult;
+using words::Label;
+
+ring::LabeledRing test_ring() {
+  return ring::LabeledRing::from_values({1, 2, 2});
+}
+
+/// A fully correct terminal result for test_ring() (leader p0).
+RunResult good_result() {
+  RunResult result;
+  result.outcome = Outcome::kTerminated;
+  for (std::size_t pid = 0; pid < 3; ++pid) {
+    ProcessSnapshot snap;
+    snap.pid = pid;
+    snap.id = test_ring().label(pid);
+    snap.is_leader = pid == 0;
+    snap.done = true;
+    snap.halted = true;
+    snap.leader = Label(1);
+    result.processes.push_back(snap);
+  }
+  return result;
+}
+
+TEST(VerifierNegativeTest, AcceptsTheGoodResult) {
+  const auto report = verify_election(test_ring(), good_result(), true);
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+TEST(VerifierNegativeTest, RejectsNonTerminatedOutcome) {
+  auto result = good_result();
+  result.outcome = Outcome::kDeadlock;
+  const auto report = verify_election(test_ring(), result, true);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("deadlock"), std::string::npos);
+}
+
+TEST(VerifierNegativeTest, RejectsRecordedViolations) {
+  auto result = good_result();
+  result.violations.push_back("step 3: something");
+  const auto report = verify_election(test_ring(), result, true);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(VerifierNegativeTest, RejectsZeroLeaders) {
+  auto result = good_result();
+  result.processes[0].is_leader = false;
+  const auto report = verify_election(test_ring(), result, true);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("exactly 1 leader"),
+            std::string::npos);
+}
+
+TEST(VerifierNegativeTest, RejectsTwoLeaders) {
+  auto result = good_result();
+  result.processes[1].is_leader = true;
+  const auto report = verify_election(test_ring(), result, true);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(VerifierNegativeTest, RejectsNotDone) {
+  auto result = good_result();
+  result.processes[2].done = false;
+  const auto report = verify_election(test_ring(), result, true);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("not done"), std::string::npos);
+}
+
+TEST(VerifierNegativeTest, RejectsNotHalted) {
+  auto result = good_result();
+  result.processes[1].halted = false;
+  const auto report = verify_election(test_ring(), result, true);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("not halted"), std::string::npos);
+}
+
+TEST(VerifierNegativeTest, RejectsUnsetLeaderVariable) {
+  auto result = good_result();
+  result.processes[2].leader.reset();
+  const auto report = verify_election(test_ring(), result, true);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("unset"), std::string::npos);
+}
+
+TEST(VerifierNegativeTest, RejectsLeaderLabelDisagreement) {
+  auto result = good_result();
+  result.processes[2].leader = Label(2);
+  const auto report = verify_election(test_ring(), result, true);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("L.id"), std::string::npos);
+}
+
+TEST(VerifierNegativeTest, RejectsWrongTrueLeader) {
+  // Elect p1 instead of the true leader p0; internally consistent, so it
+  // only fails when the true-leader check is requested.
+  auto result = good_result();
+  result.processes[0].is_leader = false;
+  result.processes[1].is_leader = true;
+  for (auto& p : result.processes) p.leader = Label(2);
+  EXPECT_FALSE(verify_election(test_ring(), result, true).ok);
+  EXPECT_TRUE(verify_election(test_ring(), result, false).ok);
+}
+
+TEST(VerifierNegativeTest, RejectsSnapshotCountMismatch) {
+  auto result = good_result();
+  result.processes.pop_back();
+  const auto report = verify_election(test_ring(), result, true);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.to_string().find("mismatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hring::core

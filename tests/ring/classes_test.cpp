@@ -1,0 +1,74 @@
+#include "ring/classes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hring::ring {
+namespace {
+
+TEST(ClassesTest, KkMembership) {
+  const auto ring = LabeledRing::from_values({1, 2, 2, 3});
+  EXPECT_FALSE(in_class_Kk(ring, 1));
+  EXPECT_TRUE(in_class_Kk(ring, 2));
+  EXPECT_TRUE(in_class_Kk(ring, 5));
+}
+
+TEST(ClassesTest, K1IsDistinctLabels) {
+  EXPECT_TRUE(in_class_K1(LabeledRing::from_values({3, 1, 2})));
+  EXPECT_FALSE(in_class_K1(LabeledRing::from_values({3, 1, 3})));
+}
+
+TEST(ClassesTest, AsymmetricMembership) {
+  EXPECT_TRUE(in_class_A(LabeledRing::from_values({1, 2, 2})));
+  EXPECT_TRUE(in_class_A(LabeledRing::from_values({1, 2})));
+  EXPECT_FALSE(in_class_A(LabeledRing::from_values({1, 2, 1, 2})));
+  EXPECT_FALSE(in_class_A(LabeledRing::from_values({5, 5})));
+  EXPECT_FALSE(in_class_A(LabeledRing::from_values({1, 2, 3, 1, 2, 3})));
+}
+
+TEST(ClassesTest, UstarMembership) {
+  EXPECT_TRUE(in_class_Ustar(LabeledRing::from_values({1, 2, 2})));
+  EXPECT_TRUE(in_class_Ustar(LabeledRing::from_values({1, 2, 3})));
+  EXPECT_FALSE(in_class_Ustar(LabeledRing::from_values({2, 2, 1, 1})));
+}
+
+TEST(ClassesTest, UstarIsSubsetOfA) {
+  // Every ring with a unique label is asymmetric: spot-check a family.
+  for (const auto& values :
+       {LabeledRing::from_values({1, 2, 2}),
+        LabeledRing::from_values({7, 3, 3, 3}),
+        LabeledRing::from_values({5, 1, 1, 5, 9})}) {
+    if (in_class_Ustar(values)) {
+      EXPECT_TRUE(in_class_A(values)) << values.to_string();
+    }
+  }
+}
+
+TEST(ClassesTest, UniqueLabelsSortedAscending) {
+  const auto ring = LabeledRing::from_values({9, 2, 2, 5, 9, 1});
+  const auto uniques = unique_labels(ring);
+  ASSERT_EQ(uniques.size(), 2u);
+  EXPECT_EQ(uniques[0], Label(1));
+  EXPECT_EQ(uniques[1], Label(5));
+}
+
+TEST(ClassesTest, ClassifyReport) {
+  const auto report = classify(LabeledRing::from_values({1, 2, 2}));
+  EXPECT_EQ(report.n, 3u);
+  EXPECT_EQ(report.distinct_labels, 2u);
+  EXPECT_EQ(report.max_multiplicity, 2u);
+  EXPECT_TRUE(report.asymmetric);
+  EXPECT_TRUE(report.has_unique_label);
+  EXPECT_EQ(report.min_k(), 2u);
+  EXPECT_EQ(report.to_string(), "n=3 |L|=2 max_mlty=2 A U*");
+}
+
+TEST(ClassesTest, ClassifySymmetricRing) {
+  const auto report = classify(LabeledRing::from_values({4, 4, 4, 4}));
+  EXPECT_FALSE(report.asymmetric);
+  EXPECT_FALSE(report.has_unique_label);
+  EXPECT_EQ(report.max_multiplicity, 4u);
+  EXPECT_EQ(report.distinct_labels, 1u);
+}
+
+}  // namespace
+}  // namespace hring::ring

@@ -1,0 +1,68 @@
+#include "ring/fooling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ring/classes.hpp"
+#include "ring/generator.hpp"
+#include "support/rng.hpp"
+
+namespace hring::ring {
+namespace {
+
+TEST(FoolingTest, ConstructionShape) {
+  const auto base = LabeledRing::from_values({1, 2, 3});
+  const auto ring = fooling_ring(base, 2);
+  EXPECT_EQ(ring.size(), 7u);  // kn + 1
+  EXPECT_EQ(ring.to_string(), "1.2.3.1.2.3.4");
+}
+
+TEST(FoolingTest, FreshLabelIsUnique) {
+  const auto base = LabeledRing::from_values({5, 9, 2});
+  const auto ring = fooling_ring(base, 3);
+  EXPECT_EQ(ring.size(), 10u);
+  EXPECT_EQ(ring.multiplicity(Label(10)), 1u);  // X = max + 1 = 10
+  EXPECT_TRUE(in_class_Ustar(ring));
+}
+
+TEST(FoolingTest, MemberOfUstarIntersectKk) {
+  support::Rng rng(404);
+  for (const std::size_t k : {1u, 2u, 3u, 5u}) {
+    const auto base = distinct_ring(6, rng);
+    const auto ring = fooling_ring(base, k);
+    EXPECT_TRUE(in_class_Ustar(ring));
+    EXPECT_TRUE(in_class_Kk(ring, k));
+    if (k > 1) {
+      // The base labels saturate the bound: k copies each.
+      EXPECT_FALSE(in_class_Kk(ring, k - 1));
+    }
+    EXPECT_TRUE(in_class_A(ring));
+  }
+}
+
+TEST(FoolingTest, BaseLabelsHaveMultiplicityK) {
+  const auto base = LabeledRing::from_values({1, 2});
+  const auto ring = fooling_ring(base, 4);
+  EXPECT_EQ(ring.multiplicity(Label(1)), 4u);
+  EXPECT_EQ(ring.multiplicity(Label(2)), 4u);
+  EXPECT_EQ(ring.max_multiplicity(), 4u);
+}
+
+TEST(FoolingTest, PositionMapping) {
+  const auto base = LabeledRing::from_values({1, 2, 3});
+  const auto ring = fooling_ring(base, 3);
+  for (std::size_t copy = 0; copy < 3; ++copy) {
+    for (ProcessIndex j = 0; j < base.size(); ++j) {
+      const ProcessIndex pos = fooling_position(base, copy, j);
+      EXPECT_EQ(ring.label(pos), base.label(j))
+          << "copy " << copy << " j " << j;
+    }
+  }
+}
+
+TEST(FoolingTest, RequiresDistinctBase) {
+  const auto bad = LabeledRing::from_values({1, 1, 2});
+  EXPECT_DEATH(fooling_ring(bad, 2), "precondition");
+}
+
+}  // namespace
+}  // namespace hring::ring

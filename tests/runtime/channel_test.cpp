@@ -1,0 +1,93 @@
+#include "runtime/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hring::runtime {
+namespace {
+
+using sim::Label;
+
+TEST(ChannelTest, StartsEmpty) {
+  Channel channel;
+  EXPECT_TRUE(channel.empty());
+  EXPECT_EQ(channel.size(), 0u);
+  EXPECT_FALSE(channel.peek().has_value());
+}
+
+TEST(ChannelTest, FifoOrder) {
+  Channel channel;
+  channel.push(Message::token(Label(1)));
+  channel.push(Message::token(Label(2)));
+  channel.push(Message::finish());
+  ASSERT_TRUE(channel.peek().has_value());
+  EXPECT_EQ(channel.peek()->label, Label(1));
+  EXPECT_EQ(channel.pop().label, Label(1));
+  EXPECT_EQ(channel.pop().label, Label(2));
+  EXPECT_EQ(channel.pop().kind, sim::MsgKind::kFinish);
+  EXPECT_TRUE(channel.empty());
+}
+
+TEST(ChannelTest, PeekDoesNotConsume) {
+  Channel channel;
+  channel.push(Message::token(Label(7)));
+  EXPECT_EQ(channel.peek()->label, Label(7));
+  EXPECT_EQ(channel.peek()->label, Label(7));
+  EXPECT_EQ(channel.size(), 1u);
+}
+
+TEST(ChannelTest, WaitForChangeReturnsOnPush) {
+  Channel channel;
+  std::thread producer([&channel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    channel.push(Message::token(Label(9)));
+  });
+  const std::size_t size =
+      channel.wait_for_change(0, [] { return false; });
+  EXPECT_EQ(size, 1u);
+  producer.join();
+}
+
+TEST(ChannelTest, WaitForChangeReturnsOnWakePredicate) {
+  Channel channel;
+  std::atomic<bool> stop{false};
+  std::thread kicker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stop.store(true);
+    channel.kick();
+  });
+  channel.wait_for_change(0, [&] { return stop.load(); });
+  kicker.join();
+  EXPECT_TRUE(stop.load());
+}
+
+TEST(ChannelTest, ManyProducersOneConsumer) {
+  Channel channel;
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&channel, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        channel.push(Message::token(
+            Label(static_cast<Label::rep_type>(t * kPerProducer + i))));
+      }
+    });
+  }
+  std::size_t received = 0;
+  while (received < kPerProducer * kProducers) {
+    if (channel.peek().has_value()) {
+      channel.pop();
+      ++received;
+    } else {
+      channel.wait_for_change(0, [] { return false; });
+    }
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_TRUE(channel.empty());
+}
+
+}  // namespace
+}  // namespace hring::runtime

@@ -1,0 +1,125 @@
+// The algorithms on real OS threads: every execution of the threaded
+// runtime is some fair asynchronous execution of §II, so A_k/B_k must
+// elect the true leader there too — with genuine nondeterminism supplied
+// by the OS scheduler instead of a simulated daemon.
+#include "runtime/threaded_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "election/algorithm.hpp"
+#include "ring/classes.hpp"
+#include "ring/generator.hpp"
+#include "tests/sim/test_processes.hpp"
+
+namespace hring::runtime {
+namespace {
+
+using election::AlgorithmId;
+
+void expect_clean_election(const ring::LabeledRing& ring,
+                           const ThreadedResult& result,
+                           std::optional<ring::ProcessIndex> expected) {
+  ASSERT_EQ(result.outcome, sim::Outcome::kTerminated) << ring.to_string();
+  const auto leader = result.leader_pid();
+  ASSERT_TRUE(leader.has_value()) << ring.to_string();
+  if (expected.has_value()) {
+    EXPECT_EQ(*leader, *expected) << ring.to_string();
+  }
+  const auto leader_label = ring.label(*leader);
+  for (const auto& p : result.processes) {
+    EXPECT_TRUE(p.done) << "p" << p.pid;
+    EXPECT_TRUE(p.halted) << "p" << p.pid;
+    ASSERT_TRUE(p.leader.has_value()) << "p" << p.pid;
+    EXPECT_EQ(*p.leader, leader_label) << "p" << p.pid;
+  }
+  EXPECT_EQ(result.messages_sent, result.messages_received);
+}
+
+TEST(ThreadedRingTest, AkElectsOnRemark122) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 2});
+  const auto result = run_threaded(
+      ring, election::make_factory({AlgorithmId::kAk, 2, false}));
+  expect_clean_election(ring, result, ring.true_leader());
+}
+
+TEST(ThreadedRingTest, BkElectsOnFigure1Ring) {
+  const auto ring =
+      ring::LabeledRing::from_values({1, 3, 1, 3, 2, 2, 1, 2});
+  const auto result = run_threaded(
+      ring, election::make_factory({AlgorithmId::kBk, 3, false}));
+  expect_clean_election(ring, result, 0);
+}
+
+TEST(ThreadedRingTest, RandomRingsRepeatedRuns) {
+  // Every OS schedule must produce the same winner: repeat runs on the
+  // same rings and cross-check against the true leader.
+  support::Rng rng(0x7412);
+  for (int rep = 0; rep < 5; ++rep) {
+    const std::size_t n = 3 + rng.below(10);
+    const std::size_t k = 1 + rng.below(3);
+    const auto ring =
+        ring::random_asymmetric_ring(n, k, (n + k - 1) / k + 2, rng);
+    ASSERT_TRUE(ring.has_value());
+    for (const auto algo : {AlgorithmId::kAk, AlgorithmId::kBk}) {
+      for (int run = 0; run < 3; ++run) {
+        const auto result = run_threaded(
+            *ring, election::make_factory({algo, k, false}));
+        expect_clean_election(*ring, result, ring->true_leader());
+      }
+    }
+  }
+}
+
+TEST(ThreadedRingTest, BaselinesElectOnDistinctRings) {
+  support::Rng rng(0x7413);
+  const auto ring = ring::distinct_ring(16, rng);
+  for (const auto algo :
+       {AlgorithmId::kChangRoberts, AlgorithmId::kLeLann,
+        AlgorithmId::kPeterson}) {
+    const auto result =
+        run_threaded(ring, election::make_factory({algo, 1, false}));
+    expect_clean_election(ring, result, std::nullopt);
+  }
+}
+
+TEST(ThreadedRingTest, WiderRing) {
+  support::Rng rng(0x7414);
+  const auto ring = ring::random_asymmetric_ring(32, 2, 18, rng);
+  ASSERT_TRUE(ring.has_value());
+  const auto result = run_threaded(
+      *ring, election::make_factory({AlgorithmId::kAk, 2, false}));
+  expect_clean_election(*ring, result, ring->true_leader());
+}
+
+TEST(ThreadedRingTest, DeadlockDetectedByWatchdog) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 3});
+  ThreadedConfig config;
+  config.quiet_period_ms = 50;
+  const auto result = run_threaded(
+      ring, sim::testing::DeafSenderProcess::make(), config);
+  EXPECT_EQ(result.outcome, sim::Outcome::kDeadlock);
+  EXPECT_EQ(result.messages_sent, 3u);
+  EXPECT_EQ(result.messages_received, 0u);
+}
+
+TEST(ThreadedRingTest, BudgetGuardsAgainstLivelock) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 3});
+  ThreadedConfig config;
+  config.max_actions_per_process = 100;
+  config.quiet_period_ms = 50;
+  const auto result = run_threaded(
+      ring, sim::testing::ForeverForwardProcess::make(), config);
+  EXPECT_EQ(result.outcome, sim::Outcome::kBudgetExhausted);
+}
+
+TEST(ThreadedRingTest, TrivialElectionTerminates) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 3, 4});
+  const auto result =
+      run_threaded(ring, sim::testing::TrivialElectProcess::make());
+  ASSERT_EQ(result.outcome, sim::Outcome::kTerminated);
+  EXPECT_EQ(result.leader_pid(), std::optional<sim::ProcessId>(0));
+  EXPECT_EQ(result.messages_sent, 4u);
+}
+
+}  // namespace
+}  // namespace hring::runtime

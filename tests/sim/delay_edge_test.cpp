@@ -1,0 +1,122 @@
+// Event-engine edge cases: FIFO clamping under decreasing raw delays,
+// delay-model contracts, and wake handling.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ring/labeled_ring.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/event_engine.hpp"
+#include "tests/sim/test_processes.hpp"
+
+namespace hring::sim {
+namespace {
+
+/// Alternates slow/fast delays on the same link: raw arrival times would
+/// invert message order; the engine must clamp to FIFO.
+class AlternatingDelay final : public DelayModel {
+ public:
+  [[nodiscard]] double delay(ProcessId) override {
+    flip_ = !flip_;
+    return flip_ ? 1.0 : 0.05;
+  }
+  [[nodiscard]] const char* name() const override { return "alternating"; }
+
+ private:
+  bool flip_ = false;
+};
+
+/// Sends a burst of three tokens at init; the consumer records order.
+class BurstSender final : public Process {
+ public:
+  BurstSender(ProcessId pid, Label id) : Process(pid, id) {}
+
+  [[nodiscard]] bool enabled(const Message* head) const override {
+    return init_ || head != nullptr;
+  }
+
+  void fire(const Message* head, Context& ctx) override {
+    if (init_) {
+      init_ = false;
+      if (pid() == 0) {
+        ctx.send(Message::token(Label(1)));
+        ctx.send(Message::token(Label(2)));
+        ctx.send(Message::token(Label(3)));
+      }
+      set_leader_label(id());
+      set_done();
+      if (pid() == 0) declare_leader();
+      return;
+    }
+    static_cast<void>(head);
+    received_.push_back(ctx.consume().label);
+    if (received_.size() == 3) halt_self();
+  }
+
+  [[nodiscard]] std::size_t space_bits(std::size_t b) const override {
+    return b;
+  }
+  [[nodiscard]] std::string debug_state() const override { return "B"; }
+  [[nodiscard]] const words::LabelSequence& received() const {
+    return received_;
+  }
+
+ private:
+  bool init_ = true;
+  words::LabelSequence received_;
+};
+
+TEST(DelayEdgeTest, FifoPreservedWhenRawDelaysWouldInvert) {
+  // p0 sends 1,2,3 with delays 1.0, 0.05, 1.0: raw arrivals 1.0, 0.05(!),
+  // 2.0-ish — clamping must deliver 1, 2, 3 in order anyway.
+  const auto ring = ring::LabeledRing::from_values({1, 2});
+  AlternatingDelay delay;
+  const auto factory = [](ProcessId pid, Label id) {
+    return std::make_unique<BurstSender>(pid, id);
+  };
+  EventEngine engine(ring, factory, delay);
+  const auto result = engine.run();
+  // p1 consumed all three and halted; p0 never receives (p1 sends none).
+  const auto& receiver =
+      dynamic_cast<const BurstSender&>(engine.process(1));
+  EXPECT_EQ(receiver.received(), words::make_sequence({1, 2, 3}));
+  // p0 stays unhalted (no more messages): classified deadlock, honestly.
+  EXPECT_EQ(result.outcome, Outcome::kDeadlock);
+}
+
+TEST(DelayEdgeTest, ConstantDelayRejectsOutOfRange) {
+  EXPECT_DEATH(ConstantDelay(0.0), "precondition");
+  EXPECT_DEATH(ConstantDelay(1.5), "precondition");
+  EXPECT_DEATH(ConstantDelay(-1.0), "precondition");
+}
+
+TEST(DelayEdgeTest, UniformDelayValidatesBounds) {
+  EXPECT_DEATH(UniformDelay(support::Rng(1), 0.0, 0.5), "precondition");
+  EXPECT_DEATH(UniformDelay(support::Rng(1), 0.6, 0.5), "precondition");
+  EXPECT_DEATH(UniformDelay(support::Rng(1), 0.5, 1.5), "precondition");
+}
+
+TEST(DelayEdgeTest, UniformDelaySamplesWithinRange) {
+  UniformDelay delay(support::Rng(5), 0.25, 0.75);
+  for (int i = 0; i < 500; ++i) {
+    const double d = delay.delay(0);
+    EXPECT_GE(d, 0.25);
+    EXPECT_LE(d, 0.75);
+  }
+}
+
+TEST(DelayEdgeTest, SlowLinkOnlySlowsTheDesignatedLink) {
+  SlowLinkDelay delay(2, 0.1);
+  EXPECT_DOUBLE_EQ(delay.delay(2), 1.0);
+  EXPECT_DOUBLE_EQ(delay.delay(0), 0.1);
+  EXPECT_DOUBLE_EQ(delay.delay(1), 0.1);
+}
+
+TEST(DelayEdgeTest, DelayModelNames) {
+  EXPECT_STREQ(ConstantDelay(1.0).name(), "constant");
+  EXPECT_STREQ(UniformDelay(support::Rng(1), 0.1, 1.0).name(), "uniform");
+  EXPECT_STREQ(SlowLinkDelay(0, 0.5).name(), "slow-link");
+}
+
+}  // namespace
+}  // namespace hring::sim

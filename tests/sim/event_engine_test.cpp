@@ -1,0 +1,104 @@
+#include "sim/event_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ring/generator.hpp"
+#include "tests/sim/test_processes.hpp"
+
+namespace hring::sim {
+namespace {
+
+using testing::DeafSenderProcess;
+using testing::ForeverForwardProcess;
+using testing::TrivialElectProcess;
+
+ring::LabeledRing small_ring() {
+  return ring::LabeledRing::from_values({1, 2, 3, 4});
+}
+
+TEST(EventEngineTest, TrivialElectionTerminates) {
+  ConstantDelay delay(1.0);
+  EventEngine engine(small_ring(), TrivialElectProcess::make(), delay);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.outcome, Outcome::kTerminated);
+  EXPECT_EQ(result.leader_pid(), std::optional<ProcessId>(0));
+  for (const auto& p : result.processes) {
+    EXPECT_TRUE(p.done);
+    EXPECT_TRUE(p.halted);
+  }
+}
+
+TEST(EventEngineTest, UnitDelayTimeEqualsRingTraversal) {
+  ConstantDelay delay(1.0);
+  EventEngine engine(small_ring(), TrivialElectProcess::make(), delay);
+  const RunResult result = engine.run();
+  // The announcement makes n hops of one time unit each; the last action
+  // (p0 halting) happens at time n.
+  EXPECT_DOUBLE_EQ(result.stats.time_units, 4.0);
+}
+
+TEST(EventEngineTest, FasterLinksFinishSooner) {
+  ConstantDelay slow(1.0);
+  ConstantDelay fast(0.25);
+  EventEngine e1(small_ring(), TrivialElectProcess::make(), slow);
+  EventEngine e2(small_ring(), TrivialElectProcess::make(), fast);
+  const double t_slow = e1.run().stats.time_units;
+  const double t_fast = e2.run().stats.time_units;
+  EXPECT_DOUBLE_EQ(t_fast, 1.0);
+  EXPECT_LT(t_fast, t_slow);
+}
+
+TEST(EventEngineTest, UniformDelayStillDeliversEverything) {
+  UniformDelay delay(support::Rng(21), 0.05, 1.0);
+  EventEngine engine(small_ring(), TrivialElectProcess::make(), delay);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.outcome, Outcome::kTerminated);
+  EXPECT_LE(result.stats.time_units, 4.0);
+  EXPECT_GT(result.stats.time_units, 0.0);
+}
+
+TEST(EventEngineTest, SlowLinkDominatesCompletionTime) {
+  SlowLinkDelay delay(/*slow_from=*/2, /*fast=*/0.05);
+  EventEngine engine(small_ring(), TrivialElectProcess::make(), delay);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.outcome, Outcome::kTerminated);
+  // Exactly one hop (2 -> 3) pays 1.0; the other three pay 0.05.
+  EXPECT_NEAR(result.stats.time_units, 1.0 + 3 * 0.05, 1e-12);
+}
+
+TEST(EventEngineTest, DeafSendersDeadlock) {
+  ConstantDelay delay(1.0);
+  EventEngine engine(small_ring(), DeafSenderProcess::make(), delay);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.outcome, Outcome::kDeadlock);
+}
+
+TEST(EventEngineTest, ForeverForwardExhaustsBudget) {
+  ConstantDelay delay(1.0);
+  EventConfig config;
+  config.max_actions = 300;
+  EventEngine engine(small_ring(), ForeverForwardProcess::make(), delay,
+                     config);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.outcome, Outcome::kBudgetExhausted);
+}
+
+TEST(EventEngineTest, MessageStatsMatchStepEngine) {
+  ConstantDelay delay(1.0);
+  EventEngine engine(small_ring(), TrivialElectProcess::make(), delay);
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.stats.messages_sent, 4u);
+  EXPECT_EQ(result.stats.messages_received, 4u);
+}
+
+TEST(EventEngineTest, StopPredicateHonored) {
+  ConstantDelay delay(1.0);
+  EventEngine engine(small_ring(), ForeverForwardProcess::make(), delay);
+  int called = 0;
+  engine.set_stop_predicate([&called] { return ++called >= 5; });
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.outcome, Outcome::kViolation);
+}
+
+}  // namespace
+}  // namespace hring::sim

@@ -1,0 +1,128 @@
+// FIFO conformance property: on every link, the sequence of messages the
+// receiver consumes equals the sequence its left neighbor sent — under
+// every scheduler and delay model, for real algorithm traffic. This is
+// the reliability half of §II's link model, checked end-to-end through
+// the engines rather than assumed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/election_driver.hpp"
+#include "election/algorithm.hpp"
+#include "ring/generator.hpp"
+#include "sim/observer.hpp"
+
+namespace hring::sim {
+namespace {
+
+/// Records the per-process send and receive sequences.
+class FifoObserver final : public Observer {
+ public:
+  void on_start(const ExecutionView& view) override {
+    sent_.assign(view.process_count(), {});
+    received_.assign(view.process_count(), {});
+  }
+
+  void on_action(const ExecutionView&, const ActionEvent& event) override {
+    if (event.consumed.has_value()) {
+      received_[event.pid].push_back(*event.consumed);
+    }
+    for (const Message& m : event.sent) {
+      sent_[event.pid].push_back(m);
+    }
+  }
+
+  /// Receives at the right neighbor must be a prefix of (or equal to) the
+  /// sends, in identical order.
+  void check(std::size_t n) const {
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      const auto& s = sent_[pid];
+      const auto& r = received_[(pid + 1) % n];
+      ASSERT_LE(r.size(), s.size()) << "link " << pid;
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        EXPECT_EQ(r[i], s[i]) << "link " << pid << " position " << i;
+      }
+    }
+  }
+
+  /// In a clean terminal configuration everything sent was received.
+  void check_complete(std::size_t n) const {
+    check(n);
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      EXPECT_EQ(received_[(pid + 1) % n].size(), sent_[pid].size())
+          << "link " << pid;
+    }
+  }
+
+ private:
+  std::vector<std::vector<Message>> sent_;
+  std::vector<std::vector<Message>> received_;
+};
+
+class FifoSweep
+    : public ::testing::TestWithParam<
+          std::tuple<election::AlgorithmId, core::SchedulerKind>> {};
+
+TEST_P(FifoSweep, ReceiveOrderEqualsSendOrder) {
+  const auto [algo, sched] = GetParam();
+  support::Rng rng(0xF1F0 + static_cast<unsigned>(algo) * 31 +
+                   static_cast<unsigned>(sched));
+  for (int rep = 0; rep < 5; ++rep) {
+    const std::size_t n = 3 + rng.below(8);
+    const std::size_t k = 1 + rng.below(3);
+    const auto ring =
+        ring::random_asymmetric_ring(n, k, (n + k - 1) / k + 2, rng);
+    ASSERT_TRUE(ring.has_value());
+    FifoObserver fifo;
+    core::ElectionConfig config;
+    config.algorithm = {algo, k, false};
+    config.scheduler = sched;
+    config.seed = rng();
+    config.extra_observers.push_back(&fifo);
+    const auto result = core::run_election(*ring, config);
+    ASSERT_EQ(result.outcome, Outcome::kTerminated) << ring->to_string();
+    fifo.check_complete(n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FifoSweep,
+    ::testing::Combine(
+        ::testing::Values(election::AlgorithmId::kAk,
+                          election::AlgorithmId::kBk),
+        ::testing::Values(core::SchedulerKind::kSynchronous,
+                          core::SchedulerKind::kRoundRobin,
+                          core::SchedulerKind::kRandomSubset,
+                          core::SchedulerKind::kConvoy)),
+    [](const auto& pinfo) {
+      std::string name = election::algorithm_name(std::get<0>(pinfo.param));
+      name += '_';
+      for (const char c :
+           std::string(core::scheduler_kind_name(std::get<1>(pinfo.param)))) {
+        if (c != '-') name += c;
+      }
+      return name;
+    });
+
+TEST(FifoPropertyTest, HoldsUnderRandomDelaysToo) {
+  support::Rng rng(0xF1F1);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t n = 3 + rng.below(8);
+    const auto ring = ring::random_asymmetric_ring(n, 2, n, rng);
+    ASSERT_TRUE(ring.has_value());
+    FifoObserver fifo;
+    core::ElectionConfig config;
+    config.algorithm = {election::AlgorithmId::kBk, 2, false};
+    config.engine = core::EngineKind::kEvent;
+    config.delay = core::DelayKind::kUniformRandom;
+    config.seed = rng();
+    config.extra_observers.push_back(&fifo);
+    const auto result = core::run_election(*ring, config);
+    ASSERT_EQ(result.outcome, Outcome::kTerminated) << ring->to_string();
+    fifo.check_complete(n);
+  }
+}
+
+}  // namespace
+}  // namespace hring::sim

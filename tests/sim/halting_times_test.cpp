@@ -1,0 +1,87 @@
+// Theorem 2's closing claim, measured: once the leader decides, the
+// ⟨FINISH⟩ wave halts every process within one ring traversal — under
+// unit delays, last-halt <= decision + n.
+#include <gtest/gtest.h>
+
+#include "core/election_driver.hpp"
+#include "election/algorithm.hpp"
+#include "ring/generator.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/halting_times.hpp"
+
+namespace hring::sim {
+namespace {
+
+TEST(HaltingTimesTest, FinishWaveHaltsEveryoneWithinNTimeUnits) {
+  support::Rng rng(0x8a17);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t n = 3 + rng.below(12);
+    const std::size_t k = 1 + rng.below(3);
+    const auto ring =
+        ring::random_asymmetric_ring(n, k, (n + k - 1) / k + 2, rng);
+    ASSERT_TRUE(ring.has_value());
+    for (const auto algo :
+         {election::AlgorithmId::kAk, election::AlgorithmId::kBk}) {
+      HaltingTimes times;
+      ConstantDelay delay(1.0);
+      EventEngine engine(*ring,
+                         election::make_factory({algo, k, false}), delay);
+      engine.add_observer(&times);
+      ASSERT_EQ(engine.run().outcome, Outcome::kTerminated)
+          << ring->to_string();
+      const auto decision = times.first_decision();
+      const auto quiescent = times.last_halt();
+      ASSERT_TRUE(decision.has_value());
+      ASSERT_TRUE(quiescent.has_value());
+      EXPECT_LE(*quiescent, *decision + static_cast<double>(n))
+          << election::algorithm_name(algo) << " on " << ring->to_string();
+    }
+  }
+}
+
+TEST(HaltingTimesTest, LeaderDecidesFirstInAk) {
+  // In A_k the leader's A3 is the first done-setting action.
+  support::Rng rng(0x8a18);
+  const auto ring = ring::random_asymmetric_ring(9, 2, 7, rng);
+  ASSERT_TRUE(ring.has_value());
+  HaltingTimes times;
+  ConstantDelay delay(1.0);
+  EventEngine engine(
+      *ring,
+      election::make_factory({election::AlgorithmId::kAk, 2, false}),
+      delay);
+  engine.add_observer(&times);
+  ASSERT_EQ(engine.run().outcome, Outcome::kTerminated);
+  const auto leader = ring->true_leader();
+  const auto& records = times.records();
+  ASSERT_TRUE(records[leader].done_time.has_value());
+  for (std::size_t pid = 0; pid < ring->size(); ++pid) {
+    ASSERT_TRUE(records[pid].done_time.has_value()) << "p" << pid;
+    EXPECT_LE(*records[leader].done_time, *records[pid].done_time)
+        << "p" << pid;
+    // Halting follows deciding.
+    ASSERT_TRUE(records[pid].halt_time.has_value());
+    EXPECT_LE(*records[pid].done_time, *records[pid].halt_time);
+  }
+}
+
+TEST(HaltingTimesTest, EmptyOnUndecidedRun) {
+  // A budget-limited run that never elects: no decision, no quiescence.
+  const auto ring = ring::LabeledRing::from_values({1, 2, 2});
+  HaltingTimes times;
+  ConstantDelay delay(1.0);
+  EventConfig config;
+  config.max_actions = 5;
+  EventEngine engine(
+      ring, election::make_factory({election::AlgorithmId::kBk, 2, false}),
+      delay, config);
+  engine.add_observer(&times);
+  EXPECT_EQ(engine.run().outcome, Outcome::kBudgetExhausted);
+  EXPECT_FALSE(times.first_decision().has_value());
+  EXPECT_FALSE(times.last_halt().has_value());
+}
+
+}  // namespace
+}  // namespace hring::sim

@@ -1,0 +1,73 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hring::sim {
+namespace {
+
+TEST(LinkTest, StartsEmpty) {
+  Link link;
+  EXPECT_TRUE(link.empty());
+  EXPECT_EQ(link.size(), 0u);
+  EXPECT_EQ(link.head(), nullptr);
+  EXPECT_EQ(link.high_water(), 0u);
+}
+
+TEST(LinkTest, FifoOrder) {
+  Link link;
+  link.push(Message::token(Label(1)));
+  link.push(Message::token(Label(2)));
+  link.push(Message::finish());
+  ASSERT_NE(link.head(), nullptr);
+  EXPECT_EQ(link.head()->label, Label(1));
+  EXPECT_EQ(link.pop().label, Label(1));
+  EXPECT_EQ(link.pop().label, Label(2));
+  EXPECT_EQ(link.pop().kind, MsgKind::kFinish);
+  EXPECT_TRUE(link.empty());
+}
+
+TEST(LinkTest, HighWaterTracksPeak) {
+  Link link;
+  link.push(Message::token(Label(1)));
+  link.push(Message::token(Label(2)));
+  link.pop();
+  link.pop();
+  link.push(Message::token(Label(3)));
+  EXPECT_EQ(link.high_water(), 2u);
+}
+
+TEST(LinkTest, InTransitMessagesAreInvisible) {
+  Link link;
+  link.push(Message::token(Label(7)), /*ready_time=*/2.0);
+  EXPECT_EQ(link.head(1.0), nullptr);     // still in transit at t=1
+  ASSERT_NE(link.head(2.0), nullptr);     // delivered at t=2
+  EXPECT_EQ(link.head(2.0)->label, Label(7));
+  EXPECT_NE(link.head(), nullptr);        // default now = infinity
+}
+
+TEST(LinkTest, HeadReadyTime) {
+  Link link;
+  link.push(Message::token(Label(1)), 0.5);
+  link.push(Message::token(Label(2)), 1.5);
+  EXPECT_DOUBLE_EQ(link.head_ready_time(), 0.5);
+  link.pop();
+  EXPECT_DOUBLE_EQ(link.head_ready_time(), 1.5);
+  EXPECT_DOUBLE_EQ(link.last_ready_time(), 1.5);
+}
+
+TEST(LinkTest, RejectsDecreasingReadyTimes) {
+  Link link;
+  link.push(Message::token(Label(1)), 2.0);
+  EXPECT_DEATH(link.push(Message::token(Label(2)), 1.0), "precondition");
+}
+
+TEST(LinkTest, OnlyReadyHeadIsVisibleEvenIfLaterOnesQueued) {
+  Link link;
+  link.push(Message::token(Label(1)), 3.0);
+  link.push(Message::token(Label(2)), 3.0);
+  EXPECT_EQ(link.head(2.9), nullptr);
+  EXPECT_EQ(link.head(3.0)->label, Label(1));
+}
+
+}  // namespace
+}  // namespace hring::sim

@@ -1,0 +1,54 @@
+#include "sim/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hring::sim {
+namespace {
+
+TEST(MessageTest, FactoryKinds) {
+  EXPECT_EQ(Message::token(Label(3)).kind, MsgKind::kToken);
+  EXPECT_EQ(Message::finish().kind, MsgKind::kFinish);
+  EXPECT_EQ(Message::phase_shift(Label(1)).kind, MsgKind::kPhaseShift);
+  EXPECT_EQ(Message::finish_label(Label(2)).kind, MsgKind::kFinishLabel);
+  EXPECT_EQ(Message::probe_one(Label(4)).kind, MsgKind::kProbeOne);
+  EXPECT_EQ(Message::probe_two(Label(5)).kind, MsgKind::kProbeTwo);
+}
+
+TEST(MessageTest, PayloadRoundTrip) {
+  EXPECT_EQ(Message::token(Label(42)).label, Label(42));
+  EXPECT_EQ(Message::phase_shift(Label(7)).label, Label(7));
+}
+
+TEST(MessageTest, Equality) {
+  EXPECT_EQ(Message::token(Label(1)), Message::token(Label(1)));
+  EXPECT_NE(Message::token(Label(1)), Message::token(Label(2)));
+  EXPECT_NE(Message::token(Label(1)), Message::phase_shift(Label(1)));
+}
+
+TEST(MessageTest, KindNames) {
+  EXPECT_STREQ(kind_name(MsgKind::kToken), "TOKEN");
+  EXPECT_STREQ(kind_name(MsgKind::kFinish), "FINISH");
+  EXPECT_STREQ(kind_name(MsgKind::kPhaseShift), "PHASE_SHIFT");
+  EXPECT_STREQ(kind_name(MsgKind::kFinishLabel), "FINISH_LABEL");
+}
+
+TEST(MessageTest, KindIndexIsDense) {
+  EXPECT_EQ(kind_index(MsgKind::kToken), 0u);
+  EXPECT_LT(kind_index(MsgKind::kProbeTwo), kNumMsgKinds);
+}
+
+TEST(MessageTest, BitsChargeTagPlusLabel) {
+  const std::size_t b = 5;
+  EXPECT_EQ(message_bits(Message::token(Label(1)), b), 3u + 5u);
+  EXPECT_EQ(message_bits(Message::finish(), b), 3u);  // no payload
+  EXPECT_EQ(message_bits(Message::phase_shift(Label(1)), b), 3u + 5u);
+}
+
+TEST(MessageTest, ToStringRendering) {
+  EXPECT_EQ(to_string(Message::token(Label(9))), "<TOKEN,9>");
+  EXPECT_EQ(to_string(Message::finish()), "<FINISH>");
+  EXPECT_EQ(to_string(Message::phase_shift(Label(2))), "<PHASE_SHIFT,2>");
+}
+
+}  // namespace
+}  // namespace hring::sim

@@ -1,0 +1,104 @@
+#include "sim/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "election/algorithm.hpp"
+#include "ring/generator.hpp"
+#include "sim/engine.hpp"
+
+namespace hring::sim {
+namespace {
+
+struct Recorded {
+  RunResult result;
+  Schedule schedule;
+};
+
+Recorded record_run(const ring::LabeledRing& ring,
+                    const election::AlgorithmConfig& algo,
+                    std::uint64_t seed) {
+  const auto factory = election::make_factory(algo);
+  RandomSubsetScheduler sched{support::Rng(seed), 0.4};
+  StepEngine engine(ring, factory, sched);
+  TraceRecorder trace(/*max_entries=*/1 << 22);
+  engine.add_observer(&trace);
+  Recorded out{engine.run(), {}};
+  out.schedule = schedule_from_trace(trace);
+  return out;
+}
+
+TEST(ReplayTest, ReplayReproducesARandomizedRunExactly) {
+  support::Rng rng(0x8e91a4);
+  for (int rep = 0; rep < 6; ++rep) {
+    const std::size_t n = 3 + rng.below(7);
+    const std::size_t k = 1 + rng.below(2);
+    const auto ring =
+        ring::random_asymmetric_ring(n, k, (n + k - 1) / k + 2, rng);
+    ASSERT_TRUE(ring.has_value());
+    const election::AlgorithmConfig algo{election::AlgorithmId::kBk, k,
+                                         false};
+    const auto recorded = record_run(*ring, algo, rng());
+    ASSERT_EQ(recorded.result.outcome, Outcome::kTerminated);
+
+    ReplayScheduler replay(recorded.schedule);
+    StepEngine engine(*ring, election::make_factory(algo), replay);
+    const auto replayed = engine.run();
+
+    EXPECT_TRUE(replay.faithful());
+    EXPECT_EQ(replayed.outcome, recorded.result.outcome);
+    EXPECT_EQ(replayed.stats.steps, recorded.result.stats.steps);
+    EXPECT_EQ(replayed.stats.actions, recorded.result.stats.actions);
+    EXPECT_EQ(replayed.stats.messages_sent,
+              recorded.result.stats.messages_sent);
+    EXPECT_EQ(replayed.stats.sent_by_process,
+              recorded.result.stats.sent_by_process);
+    for (std::size_t pid = 0; pid < n; ++pid) {
+      EXPECT_EQ(replayed.processes[pid].debug,
+                recorded.result.processes[pid].debug)
+          << "p" << pid;
+    }
+  }
+}
+
+TEST(ReplayTest, ScheduleFromTraceGroupsByStep) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 2});
+  SynchronousScheduler sched;
+  StepEngine engine(ring, election::make_factory(
+                              {election::AlgorithmId::kAk, 2, false}),
+                    sched);
+  TraceRecorder trace;
+  engine.add_observer(&trace);
+  ASSERT_EQ(engine.run().outcome, Outcome::kTerminated);
+  const auto schedule = schedule_from_trace(trace);
+  ASSERT_FALSE(schedule.empty());
+  // Synchronous step 0 fires everyone.
+  EXPECT_EQ(schedule[0], (std::vector<ProcessId>{0, 1, 2}));
+}
+
+TEST(ReplayTest, RunsPastTheRecordingFallBackToAllEnabled) {
+  // Replay a truncated schedule; the run must still terminate, flagged as
+  // unfaithful.
+  const auto ring = ring::LabeledRing::from_values({1, 2, 2});
+  const election::AlgorithmConfig algo{election::AlgorithmId::kAk, 2,
+                                       false};
+  const auto recorded = record_run(ring, algo, 77);
+  Schedule truncated(recorded.schedule.begin(),
+                     recorded.schedule.begin() + 2);
+  ReplayScheduler replay(std::move(truncated));
+  StepEngine engine(ring, election::make_factory(algo), replay);
+  const auto result = engine.run();
+  EXPECT_EQ(result.outcome, Outcome::kTerminated);
+  EXPECT_FALSE(replay.faithful());
+}
+
+TEST(ReplayTest, DivergentScheduleIsFlagged) {
+  Schedule schedule = {{5}};  // pid 5 will not be enabled
+  ReplayScheduler replay(schedule);
+  std::vector<ProcessId> out;
+  replay.select({0, 1}, out);
+  EXPECT_FALSE(replay.faithful());
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace hring::sim

@@ -1,0 +1,107 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace hring::sim {
+namespace {
+
+const std::vector<ProcessId> kEnabled = {0, 2, 5, 7};
+
+TEST(SynchronousSchedulerTest, SelectsEveryone) {
+  SynchronousScheduler sched;
+  std::vector<ProcessId> out;
+  sched.select(kEnabled, out);
+  EXPECT_EQ(out, kEnabled);
+}
+
+TEST(RoundRobinSchedulerTest, RotatesThroughEnabled) {
+  RoundRobinScheduler sched;
+  std::vector<ProcessId> picks;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<ProcessId> out;
+    sched.select(kEnabled, out);
+    ASSERT_EQ(out.size(), 1u);
+    picks.push_back(out[0]);
+  }
+  // Two full rotations over {0,2,5,7}.
+  const std::vector<ProcessId> expected = {0, 2, 5, 7, 0, 2, 5, 7};
+  EXPECT_EQ(picks, expected);
+}
+
+TEST(RoundRobinSchedulerTest, SkipsDisabled) {
+  RoundRobinScheduler sched;
+  std::vector<ProcessId> out;
+  sched.select({3, 9}, out);
+  EXPECT_EQ(out, (std::vector<ProcessId>{3}));
+  out.clear();
+  sched.select({0, 1, 9}, out);  // next_=4: first enabled >= 4 is 9
+  EXPECT_EQ(out, (std::vector<ProcessId>{9}));
+  out.clear();
+  sched.select({0, 1}, out);  // wraps
+  EXPECT_EQ(out, (std::vector<ProcessId>{0}));
+}
+
+TEST(RandomSingleSchedulerTest, AlwaysExactlyOneEnabledPick) {
+  RandomSingleScheduler sched{support::Rng(42)};
+  for (int i = 0; i < 100; ++i) {
+    std::vector<ProcessId> out;
+    sched.select(kEnabled, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(std::binary_search(kEnabled.begin(), kEnabled.end(), out[0]));
+  }
+}
+
+TEST(RandomSingleSchedulerTest, EventuallyPicksEveryone) {
+  RandomSingleScheduler sched{support::Rng(7)};
+  std::set<ProcessId> seen;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<ProcessId> out;
+    sched.select(kEnabled, out);
+    seen.insert(out[0]);
+  }
+  EXPECT_EQ(seen.size(), kEnabled.size());
+}
+
+TEST(RandomSubsetSchedulerTest, NeverEmptyAndAlwaysSubset) {
+  RandomSubsetScheduler sched{support::Rng(99), 0.5};
+  for (int i = 0; i < 200; ++i) {
+    std::vector<ProcessId> out;
+    sched.select(kEnabled, out);
+    ASSERT_FALSE(out.empty());
+    for (const ProcessId pid : out) {
+      EXPECT_TRUE(
+          std::binary_search(kEnabled.begin(), kEnabled.end(), pid));
+    }
+  }
+}
+
+TEST(RandomSubsetSchedulerTest, ExtremeProbabilities) {
+  RandomSubsetScheduler never{support::Rng(1), 0.0};
+  std::vector<ProcessId> out;
+  never.select(kEnabled, out);
+  EXPECT_EQ(out.size(), 1u);  // forced non-empty
+
+  RandomSubsetScheduler always{support::Rng(1), 1.0};
+  out.clear();
+  always.select(kEnabled, out);
+  EXPECT_EQ(out, kEnabled);
+}
+
+TEST(ConvoySchedulerTest, AlwaysPicksSmallestPid) {
+  ConvoyScheduler sched;
+  std::vector<ProcessId> out;
+  sched.select(kEnabled, out);
+  EXPECT_EQ(out, (std::vector<ProcessId>{0}));
+}
+
+TEST(SchedulerTest, Names) {
+  EXPECT_STREQ(SynchronousScheduler{}.name(), "synchronous");
+  EXPECT_STREQ(RoundRobinScheduler{}.name(), "round-robin");
+  EXPECT_STREQ(ConvoyScheduler{}.name(), "convoy");
+}
+
+}  // namespace
+}  // namespace hring::sim

@@ -1,0 +1,135 @@
+// Miniature algorithms used to exercise the engines in isolation from the
+// real election algorithms.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace hring::sim::testing {
+
+/// p0 elects itself at init and floods ⟨FINISH_LABEL, id⟩; everyone else
+/// learns, forwards and halts. The smallest correct "election" possible —
+/// terminates cleanly under every engine and scheduler.
+class TrivialElectProcess final : public Process {
+ public:
+  TrivialElectProcess(ProcessId pid, Label id) : Process(pid, id) {}
+
+  [[nodiscard]] bool enabled(const Message* head) const override {
+    if (init_) return true;
+    return head != nullptr;
+  }
+
+  void fire(const Message* /*head*/, Context& ctx) override {
+    if (init_) {
+      ctx.note_action("init");
+      init_ = false;
+      if (pid() == 0) {
+        declare_leader();
+        set_leader_label(id());
+        set_done();
+        ctx.send(Message::finish_label(id()));
+      }
+      return;
+    }
+    const Message msg = ctx.consume();
+    if (pid() == 0) {
+      ctx.note_action("halt");
+      halt_self();
+    } else {
+      ctx.note_action("learn");
+      set_leader_label(msg.label);
+      set_done();
+      ctx.send(msg);
+      halt_self();
+    }
+  }
+
+  [[nodiscard]] std::size_t space_bits(std::size_t label_bits) const override {
+    return 2 * label_bits + 3;
+  }
+
+  [[nodiscard]] std::string debug_state() const override {
+    return init_ ? "INIT" : "RUN";
+  }
+
+  [[nodiscard]] static ProcessFactory make() {
+    return [](ProcessId pid, Label id) {
+      return std::make_unique<TrivialElectProcess>(pid, id);
+    };
+  }
+
+ private:
+  bool init_ = true;
+};
+
+/// Sends one token at init and never receives: the run ends with messages
+/// stuck on every link — a deadlock, not a clean termination.
+class DeafSenderProcess final : public Process {
+ public:
+  DeafSenderProcess(ProcessId pid, Label id) : Process(pid, id) {}
+
+  [[nodiscard]] bool enabled(const Message*) const override { return init_; }
+
+  void fire(const Message*, Context& ctx) override {
+    init_ = false;
+    ctx.send(Message::token(id()));
+  }
+
+  [[nodiscard]] std::size_t space_bits(std::size_t label_bits) const override {
+    return label_bits + 1;
+  }
+
+  [[nodiscard]] std::string debug_state() const override {
+    return init_ ? "INIT" : "DEAF";
+  }
+
+  [[nodiscard]] static ProcessFactory make() {
+    return [](ProcessId pid, Label id) {
+      return std::make_unique<DeafSenderProcess>(pid, id);
+    };
+  }
+
+ private:
+  bool init_ = true;
+};
+
+/// Forwards every token forever: the execution never reaches a terminal
+/// configuration, exhausting any step/action budget.
+class ForeverForwardProcess final : public Process {
+ public:
+  ForeverForwardProcess(ProcessId pid, Label id) : Process(pid, id) {}
+
+  [[nodiscard]] bool enabled(const Message* head) const override {
+    return init_ || head != nullptr;
+  }
+
+  void fire(const Message* head, Context& ctx) override {
+    if (init_) {
+      init_ = false;
+      ctx.send(Message::token(id()));
+      return;
+    }
+    static_cast<void>(head);
+    ctx.send(ctx.consume());
+  }
+
+  [[nodiscard]] std::size_t space_bits(std::size_t label_bits) const override {
+    return label_bits + 1;
+  }
+
+  [[nodiscard]] std::string debug_state() const override { return "FWD"; }
+
+  [[nodiscard]] static ProcessFactory make() {
+    return [](ProcessId pid, Label id) {
+      return std::make_unique<ForeverForwardProcess>(pid, id);
+    };
+  }
+
+ private:
+  bool init_ = true;
+};
+
+}  // namespace hring::sim::testing

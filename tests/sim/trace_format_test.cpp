@@ -1,0 +1,73 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ring/labeled_ring.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "tests/sim/test_processes.hpp"
+
+namespace hring::sim {
+namespace {
+
+using testing::TrivialElectProcess;
+
+TEST(TraceFormatTest, PrintShowsActionsAndMessages) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 3});
+  SynchronousScheduler sched;
+  StepEngine engine(ring, TrivialElectProcess::make(), sched);
+  TraceRecorder trace;
+  engine.add_observer(&trace);
+  ASSERT_EQ(engine.run().outcome, Outcome::kTerminated);
+  std::ostringstream out;
+  trace.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("p0 init"), std::string::npos);
+  EXPECT_NE(text.find("rcv <FINISH_LABEL,1>"), std::string::npos);
+  EXPECT_NE(text.find("[step 0"), std::string::npos);
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+}
+
+TEST(TraceFormatTest, BoundedRecorderCountsDrops) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 3});
+  SynchronousScheduler sched;
+  StepEngine engine(ring, TrivialElectProcess::make(), sched);
+  TraceRecorder trace(/*max_entries=*/2);
+  engine.add_observer(&trace);
+  ASSERT_EQ(engine.run().outcome, Outcome::kTerminated);
+  EXPECT_EQ(trace.entries().size(), 2u);
+  EXPECT_GT(trace.dropped(), 0u);
+  std::ostringstream out;
+  trace.print(out);
+  EXPECT_NE(out.str().find("actions dropped"), std::string::npos);
+}
+
+TEST(TraceFormatTest, EntriesCarrySentMessages) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 3});
+  SynchronousScheduler sched;
+  StepEngine engine(ring, TrivialElectProcess::make(), sched);
+  TraceRecorder trace;
+  engine.add_observer(&trace);
+  ASSERT_EQ(engine.run().outcome, Outcome::kTerminated);
+  // p0's init sends exactly the announcement.
+  const auto& first = trace.entries().front();
+  EXPECT_EQ(first.event.pid, 0u);
+  ASSERT_EQ(first.event.sent.size(), 1u);
+  EXPECT_EQ(first.event.sent[0].kind, MsgKind::kFinishLabel);
+}
+
+TEST(StatsSummaryTest, MentionsCoreCounters) {
+  Stats stats;
+  stats.steps = 7;
+  stats.messages_sent = 12;
+  stats.peak_space_bits = 33;
+  const std::string summary = stats.summary();
+  EXPECT_NE(summary.find("steps=7"), std::string::npos);
+  EXPECT_NE(summary.find("sent=12"), std::string::npos);
+  EXPECT_NE(summary.find("peak_space_bits=33"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hring::sim

@@ -1,0 +1,118 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hring::support {
+namespace {
+
+TEST(JsonWriterTest, EmptyObject) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object().end_object();
+  EXPECT_EQ(out.str(), "{}");
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(JsonWriterTest, EmptyArray) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array().end_array();
+  EXPECT_EQ(out.str(), "[]");
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(JsonWriterTest, ObjectWithScalars) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("name").value("ring");
+  json.key("n").value(std::uint64_t{8});
+  json.key("neg").value(std::int64_t{-3});
+  json.key("ok").value(true);
+  json.key("ratio").value(0.5);
+  json.key("nothing").null();
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"ring\",\"n\":8,\"neg\":-3,\"ok\":true,"
+            "\"ratio\":0.5,\"nothing\":null}");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("xs").begin_array().value(1).value(2).value(3).end_array();
+  json.key("inner").begin_object().key("a").value(false).end_object();
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\"xs\":[1,2,3],\"inner\":{\"a\":false}}");
+}
+
+TEST(JsonWriterTest, ArrayCommasOnlyBetweenElements) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array();
+  json.begin_object().end_object();
+  json.begin_array().end_array();
+  json.value("x");
+  json.end_array();
+  EXPECT_EQ(out.str(), "[{},[],\"x\"]");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.value("say \"hi\"\\\n\tdone");
+  EXPECT_EQ(out.str(), "\"say \\\"hi\\\"\\\\\\n\\tdone\"");
+}
+
+TEST(JsonWriterTest, ControlCharactersEscapedAsUnicode) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  std::string s = "a";
+  s += '\x01';
+  s += 'b';
+  json.value(s);
+  EXPECT_EQ(out.str(), "\"a\\u0001b\"");
+}
+
+TEST(JsonWriterTest, DoubleFormatting) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array().value(1.0).value(0.25).value(1e-9).end_array();
+  EXPECT_EQ(out.str(), "[1,0.25,1e-09]");
+}
+
+TEST(JsonWriterTest, IncompleteUntilClosed) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  EXPECT_FALSE(json.complete());
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(JsonWriterTest, ValueWithoutKeyInObjectDies) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  EXPECT_DEATH(json.value(1), "precondition");
+}
+
+TEST(JsonWriterTest, KeyOutsideObjectDies) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array();
+  EXPECT_DEATH(json.key("k"), "precondition");
+}
+
+TEST(JsonWriterTest, TwoTopLevelValuesDie) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.value(1);
+  EXPECT_DEATH(json.value(2), "precondition");
+}
+
+}  // namespace
+}  // namespace hring::support

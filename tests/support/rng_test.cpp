@@ -1,0 +1,149 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace hring::support {
+namespace {
+
+TEST(SplitMix64Test, AdvancesStateDeterministically) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, 42u);  // state advanced
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, BelowIsInRange) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1u, 2u, 3u, 7u, 100u, 1000000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(RngTest, BelowCoversTheWholeRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BelowIsApproximatelyUniform) {
+  Rng rng(13);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<std::size_t>(rng.below(kBuckets))];
+  }
+  const int expected = kDraws / static_cast<int>(kBuckets);
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected / 10);  // within 10%
+  }
+}
+
+TEST(RngTest, InRangeInclusive) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.in_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UnitInHalfOpenInterval) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  // The child stream should not mirror the parent's subsequent outputs.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(ShuffleTest, PermutesAllElements) {
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  Rng rng(25);
+  shuffle(v, rng);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(ShuffleTest, DeterministicGivenSeed) {
+  std::vector<int> a = {1, 2, 3, 4, 5};
+  std::vector<int> b = a;
+  Rng ra(31);
+  Rng rb(31);
+  shuffle(a, ra);
+  shuffle(b, rb);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShuffleTest, EmptyAndSingleton) {
+  std::vector<int> empty;
+  std::vector<int> one = {9};
+  Rng rng(33);
+  shuffle(empty, rng);
+  shuffle(one, rng);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(one, (std::vector<int>{9}));
+}
+
+}  // namespace
+}  // namespace hring::support

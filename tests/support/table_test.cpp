@@ -1,0 +1,98 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hring::support {
+namespace {
+
+TEST(TableTest, EmptyTablePrintsHeaderAndRule) {
+  Table table({"a", "bb"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_EQ(out.str(), "| a | bb |\n|---|----|\n");
+}
+
+TEST(TableTest, CellsAreRightAligned) {
+  Table table({"n", "value"});
+  table.row().cell(std::uint64_t{5}).cell("x");
+  table.row().cell(std::uint64_t{123}).cell("yy");
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_EQ(out.str(),
+            "|   n | value |\n"
+            "|-----|-------|\n"
+            "|   5 |     x |\n"
+            "| 123 |    yy |\n");
+}
+
+TEST(TableTest, WideCellsStretchColumns) {
+  Table table({"h"});
+  table.row().cell("wide-cell");
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_EQ(out.str(),
+            "|         h |\n"
+            "|-----------|\n"
+            "| wide-cell |\n");
+}
+
+TEST(TableTest, DoubleFormattingDigits) {
+  Table table({"x", "y"});
+  table.row().cell(3.14159, 2).cell(2.0, 0);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("3.14"), std::string::npos);
+  EXPECT_NE(out.str().find(" 2 "), std::string::npos);
+  EXPECT_EQ(out.str().find("3.142"), std::string::npos);
+}
+
+TEST(TableTest, RowCount) {
+  Table table({"a"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.row().cell(1);
+  table.row().cell(2);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableTest, IntAndUnsignedCells) {
+  Table table({"i", "u"});
+  table.row().cell(-3).cell(std::uint64_t{7});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("-3"), std::string::npos);
+  EXPECT_NE(out.str().find("7"), std::string::npos);
+}
+
+TEST(TableTest, CsvBasic) {
+  Table table({"n", "name"});
+  table.row().cell(std::uint64_t{1}).cell("alpha");
+  table.row().cell(std::uint64_t{2}).cell("beta");
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "n,name\n1,alpha\n2,beta\n");
+}
+
+TEST(TableTest, CsvQuotesSpecialCharacters) {
+  Table table({"field"});
+  table.row().cell("a,b");
+  table.row().cell("say \"hi\"");
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "field\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableTest, OverfilledRowDies) {
+  Table table({"only"});
+  table.row().cell("one");
+  EXPECT_DEATH(table.cell("two"), "precondition");
+}
+
+TEST(TableTest, CellWithoutRowDies) {
+  Table table({"h"});
+  EXPECT_DEATH(table.cell("x"), "precondition");
+}
+
+}  // namespace
+}  // namespace hring::support

@@ -1,0 +1,90 @@
+#include "words/label.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hring::words {
+namespace {
+
+TEST(LabelTest, DefaultConstructedIsZero) {
+  EXPECT_EQ(Label{}.value(), 0u);
+}
+
+TEST(LabelTest, ValueRoundTrip) {
+  EXPECT_EQ(Label(42).value(), 42u);
+  EXPECT_EQ(Label(0).value(), 0u);
+  EXPECT_EQ(Label(~0ULL).value(), ~0ULL);
+}
+
+TEST(LabelTest, EqualityFollowsValue) {
+  EXPECT_EQ(Label(7), Label(7));
+  EXPECT_NE(Label(7), Label(8));
+}
+
+TEST(LabelTest, OrderingFollowsValue) {
+  EXPECT_LT(Label(1), Label(2));
+  EXPECT_GT(Label(9), Label(3));
+  EXPECT_LE(Label(4), Label(4));
+  EXPECT_GE(Label(4), Label(4));
+}
+
+TEST(LabelTest, ComparisonCounterCountsComparisons) {
+  Label::reset_comparison_count();
+  EXPECT_EQ(Label::comparison_count(), 0u);
+  const bool lt = Label(1) < Label(2);
+  EXPECT_TRUE(lt);
+  EXPECT_EQ(Label::comparison_count(), 1u);
+  const bool eq = Label(1) == Label(1);
+  EXPECT_TRUE(eq);
+  EXPECT_EQ(Label::comparison_count(), 2u);
+  Label::reset_comparison_count();
+  EXPECT_EQ(Label::comparison_count(), 0u);
+}
+
+TEST(LabelTest, ToStringRendersValue) {
+  EXPECT_EQ(to_string(Label(17)), "17");
+}
+
+TEST(LabelTest, SequenceToStringUsesDots) {
+  EXPECT_EQ(to_string(make_sequence({1, 3, 1, 2})), "1.3.1.2");
+  EXPECT_EQ(to_string(LabelSequence{}), "");
+  EXPECT_EQ(to_string(make_sequence({5})), "5");
+}
+
+TEST(LabelTest, MakeSequencePreservesOrder) {
+  const LabelSequence seq = make_sequence({3, 1, 4, 1, 5});
+  ASSERT_EQ(seq.size(), 5u);
+  EXPECT_EQ(seq[0], Label(3));
+  EXPECT_EQ(seq[3], Label(1));
+  EXPECT_EQ(seq[4], Label(5));
+}
+
+TEST(LabelTest, CountOccurrences) {
+  const LabelSequence seq = make_sequence({1, 2, 1, 1, 3});
+  EXPECT_EQ(count_occurrences(seq, Label(1)), 3u);
+  EXPECT_EQ(count_occurrences(seq, Label(2)), 1u);
+  EXPECT_EQ(count_occurrences(seq, Label(9)), 0u);
+  EXPECT_EQ(count_occurrences(LabelSequence{}, Label(1)), 0u);
+}
+
+TEST(LabelTest, LabelBitsMinimumOne) {
+  EXPECT_EQ(label_bits(make_sequence({0})), 1u);
+  EXPECT_EQ(label_bits(make_sequence({1})), 1u);
+}
+
+TEST(LabelTest, LabelBitsMatchesBitWidth) {
+  EXPECT_EQ(label_bits(make_sequence({1, 2, 3})), 2u);
+  EXPECT_EQ(label_bits(make_sequence({1, 4})), 3u);
+  EXPECT_EQ(label_bits(make_sequence({255})), 8u);
+  EXPECT_EQ(label_bits(make_sequence({256})), 9u);
+}
+
+TEST(LabelTest, SortWorksViaOrdering) {
+  LabelSequence seq = make_sequence({5, 3, 9, 1});
+  std::sort(seq.begin(), seq.end());
+  EXPECT_EQ(to_string(seq), "1.3.5.9");
+}
+
+}  // namespace
+}  // namespace hring::words

@@ -1,0 +1,175 @@
+#include "words/periodicity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "support/rng.hpp"
+#include "words/label.hpp"
+
+namespace hring::words {
+namespace {
+
+LabelSequence random_sequence(std::size_t len, std::size_t alphabet,
+                              support::Rng& rng) {
+  LabelSequence seq;
+  seq.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    seq.emplace_back(rng.below(alphabet) + 1);
+  }
+  return seq;
+}
+
+TEST(BorderArrayTest, EmptySequence) {
+  EXPECT_TRUE(border_array({}).empty());
+}
+
+TEST(BorderArrayTest, SingleLetter) {
+  const auto b = border_array(make_sequence({7}));
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 0u);
+}
+
+TEST(BorderArrayTest, ClassicExample) {
+  // "abcabca" pattern with labels: borders 0 0 0 1 2 3 4.
+  const auto b = border_array(make_sequence({1, 2, 3, 1, 2, 3, 1}));
+  const std::vector<std::size_t> expected = {0, 0, 0, 1, 2, 3, 4};
+  EXPECT_EQ(b, expected);
+}
+
+TEST(BorderArrayTest, AllSameLetter) {
+  const auto b = border_array(make_sequence({4, 4, 4, 4}));
+  const std::vector<std::size_t> expected = {0, 1, 2, 3};
+  EXPECT_EQ(b, expected);
+}
+
+TEST(SmallestPeriodTest, SingleLetterIsPeriodOne) {
+  EXPECT_EQ(smallest_period(make_sequence({9})), 1u);
+}
+
+TEST(SmallestPeriodTest, AllSameIsPeriodOne) {
+  EXPECT_EQ(smallest_period(make_sequence({2, 2, 2, 2, 2})), 1u);
+}
+
+TEST(SmallestPeriodTest, AperiodicIsFullLength) {
+  EXPECT_EQ(smallest_period(make_sequence({1, 2, 3, 4})), 4u);
+}
+
+TEST(SmallestPeriodTest, ExactRepetition) {
+  EXPECT_EQ(smallest_period(make_sequence({1, 2, 1, 2, 1, 2})), 2u);
+}
+
+TEST(SmallestPeriodTest, TruncatedRepetition) {
+  // The paper's repeating-prefix definition admits truncation: 1,2,3,1,2
+  // is a truncation of (1,2,3)^inf.
+  EXPECT_EQ(smallest_period(make_sequence({1, 2, 3, 1, 2})), 3u);
+}
+
+TEST(SmallestPeriodTest, NonDivisorPeriod) {
+  // A smallest period need not divide the length: "aabaa" has period 3.
+  EXPECT_EQ(smallest_period(make_sequence({1, 1, 2})), 3u);
+  EXPECT_EQ(smallest_period(make_sequence({1, 1, 2, 1, 1})), 3u);
+}
+
+TEST(SmallestPeriodTest, FigureOneRing) {
+  // The counter-clockwise unrolled Figure 1 labels, doubled, have period 8.
+  const LabelSequence ring =
+      make_sequence({1, 2, 1, 2, 2, 3, 1, 3, 1, 2, 1, 2, 2, 3, 1, 3});
+  EXPECT_EQ(smallest_period(ring), 8u);
+}
+
+TEST(IsPeriodTest, DefinitionalChecks) {
+  const LabelSequence seq = make_sequence({1, 2, 1, 2, 1});
+  EXPECT_FALSE(is_period(seq, 1));
+  EXPECT_TRUE(is_period(seq, 2));
+  EXPECT_FALSE(is_period(seq, 3));
+  EXPECT_TRUE(is_period(seq, 4));
+  EXPECT_TRUE(is_period(seq, 5));   // whole length is always a period
+  EXPECT_TRUE(is_period(seq, 99));  // beyond length: vacuously true
+}
+
+TEST(SrpTest, ReturnsShortestRepeatingPrefix) {
+  EXPECT_EQ(srp(make_sequence({1, 2, 1, 2, 1})), make_sequence({1, 2}));
+  EXPECT_EQ(srp(make_sequence({3})), make_sequence({3}));
+  EXPECT_EQ(srp(make_sequence({1, 2, 3})), make_sequence({1, 2, 3}));
+}
+
+TEST(SrpTest, SrpIsARepeatingPrefixByDefinition) {
+  const LabelSequence seq = make_sequence({2, 1, 2, 2, 1, 2, 2, 1});
+  const LabelSequence pi = srp(seq);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i], pi[i % pi.size()]) << "position " << i;
+  }
+}
+
+TEST(IncrementalPeriodTest, EmptyInitially) {
+  IncrementalPeriod inc;
+  EXPECT_EQ(inc.size(), 0u);
+  EXPECT_EQ(inc.border(), 0u);
+}
+
+TEST(IncrementalPeriodTest, TracksBatchComputation) {
+  IncrementalPeriod inc;
+  const LabelSequence seq = make_sequence({1, 2, 1, 1, 2, 1, 2, 1, 2});
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    inc.push_back(seq[i]);
+    const LabelSequence prefix(seq.begin(),
+                               seq.begin() + static_cast<std::ptrdiff_t>(i) +
+                                   1);
+    EXPECT_EQ(inc.period(), smallest_period(prefix)) << "prefix len " << i + 1;
+    EXPECT_EQ(inc.sequence(), prefix);
+  }
+}
+
+// -- properties over random sequences -------------------------------------
+
+class PeriodProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(PeriodProperty, KmpMatchesNaive) {
+  const auto [len, alphabet] = GetParam();
+  support::Rng rng(0x5eed0000 + len * 131 + alphabet);
+  for (int rep = 0; rep < 40; ++rep) {
+    const LabelSequence seq = random_sequence(len, alphabet, rng);
+    EXPECT_EQ(smallest_period(seq), smallest_period_naive(seq))
+        << to_string(seq);
+  }
+}
+
+TEST_P(PeriodProperty, IncrementalMatchesBatch) {
+  const auto [len, alphabet] = GetParam();
+  support::Rng rng(0xabc0000 + len * 17 + alphabet);
+  for (int rep = 0; rep < 20; ++rep) {
+    const LabelSequence seq = random_sequence(len, alphabet, rng);
+    IncrementalPeriod inc;
+    for (const Label l : seq) inc.push_back(l);
+    EXPECT_EQ(inc.period(), smallest_period(seq)) << to_string(seq);
+  }
+}
+
+TEST_P(PeriodProperty, PeriodIsAPeriodAndMinimal) {
+  const auto [len, alphabet] = GetParam();
+  support::Rng rng(0xf00d0000 + len * 29 + alphabet);
+  for (int rep = 0; rep < 20; ++rep) {
+    const LabelSequence seq = random_sequence(len, alphabet, rng);
+    const std::size_t p = smallest_period(seq);
+    EXPECT_TRUE(is_period(seq, p)) << to_string(seq);
+    for (std::size_t q = 1; q < p; ++q) {
+      EXPECT_FALSE(is_period(seq, q)) << to_string(seq) << " q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PeriodProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5, 8, 13, 21,
+                                                      34, 64),
+                       ::testing::Values<std::size_t>(1, 2, 3, 5)),
+    [](const auto& pinfo) {
+      return "len" + std::to_string(std::get<0>(pinfo.param)) + "_a" +
+             std::to_string(std::get<1>(pinfo.param));
+    });
+
+}  // namespace
+}  // namespace hring::words
