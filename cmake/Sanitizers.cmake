@@ -1,0 +1,51 @@
+# Sanitizer presets applied to every target in the build (src, tests,
+# bench, examples) — included from the top-level CMakeLists before any
+# add_subdirectory, so the flags land on all of them uniformly. A
+# half-instrumented binary silently misses races and container overflows;
+# all-or-nothing is the only trustworthy configuration.
+#
+# Usage:
+#   cmake -B build -DHRING_SANITIZE="address;undefined"   # ASan + UBSan
+#   cmake -B build -DHRING_SANITIZE=thread                # TSan
+# or via the presets: `cmake --preset asan-ubsan`, `cmake --preset tsan`
+# (see CMakePresets.json; `ctest --preset tsan` also wires the runtime
+# options and suppression files in cmake/sanitizers/).
+
+set(HRING_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers for every target: address, undefined, \
+leak, thread (thread cannot be combined with address/leak)")
+
+if(HRING_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR
+            "HRING_SANITIZE requires GCC or Clang, not "
+            "${CMAKE_CXX_COMPILER_ID}")
+  endif()
+
+  foreach(_hring_san IN LISTS HRING_SANITIZE)
+    if(NOT _hring_san MATCHES "^(address|undefined|leak|thread)$")
+      message(FATAL_ERROR
+              "HRING_SANITIZE: unknown sanitizer '${_hring_san}' (expected "
+              "address, undefined, leak or thread)")
+    endif()
+  endforeach()
+  if("thread" IN_LIST HRING_SANITIZE
+     AND ("address" IN_LIST HRING_SANITIZE
+          OR "leak" IN_LIST HRING_SANITIZE))
+    message(FATAL_ERROR
+            "HRING_SANITIZE: thread cannot be combined with address/leak "
+            "(the runtimes share shadow memory)")
+  endif()
+
+  string(REPLACE ";" "," _hring_san_list "${HRING_SANITIZE}")
+  set(_hring_san_flags "-fsanitize=${_hring_san_list}"
+                       -fno-omit-frame-pointer -g)
+  if("undefined" IN_LIST HRING_SANITIZE)
+    # A UBSan finding must fail the test, not just print: no recovery.
+    list(APPEND _hring_san_flags -fno-sanitize-recover=all)
+  endif()
+
+  add_compile_options(${_hring_san_flags})
+  add_link_options(${_hring_san_flags})
+  message(STATUS "hring: sanitizers enabled: ${HRING_SANITIZE}")
+endif()

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/election_driver.hpp"
+#include "core/spec_audit.hpp"
 #include "core/verification.hpp"
 #include "ring/classes.hpp"
 #include "ring/generator.hpp"
@@ -27,7 +28,11 @@ namespace {
 
 void usage(const char* argv0) {
   std::cout
-      << "usage: " << argv0 << " [options]\n"
+      << "usage: " << argv0 << " [audit] [options]\n"
+      << "  audit               subcommand: §II model-conformance audit of\n"
+         "                      the selected algorithm on the selected ring\n"
+         "                      (replay determinism, locality, message and\n"
+         "                      space bounds, FIFO discipline)\n"
       << "  --ring A,B,C,...    clockwise labels (unsigned integers)\n"
       << "  --random-n N        instead of --ring: random asymmetric ring\n"
       << "  --spec FILE         load ring + config from a ringspec file\n"
@@ -79,9 +84,16 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool model_check = false;
   bool json = false;
+  bool audit = false;
   std::uint64_t watch_every = 0;
 
-  for (int i = 1; i < argc; ++i) {
+  int first_arg = 1;
+  if (argc > 1 && std::string(argv[1]) == "audit") {
+    audit = true;
+    first_arg = 2;
+  }
+
+  for (int i = first_arg; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
@@ -217,6 +229,21 @@ int main(int argc, char** argv) {
       std::cout << "warning: ring is OUTSIDE the algorithm's class — "
                    "anything can happen (see impossibility_demo)\n";
     }
+  }
+
+  if (audit) {
+    core::SpecAuditConfig audit_config;
+    audit_config.scheduler = config.scheduler;
+    audit_config.seed = config.seed;
+    const auto audit_report = core::audit_algorithm(*ring, config.algorithm,
+                                                    audit_config);
+    std::cout << "audit (" << core::scheduler_kind_name(config.scheduler)
+              << " daemon, seed " << config.seed
+              << "): " << audit_report.summary() << "\n";
+    for (const auto& v : audit_report.violations) {
+      std::cout << "  " << v << "\n";
+    }
+    return audit_report.ok() ? EXIT_SUCCESS : EXIT_FAILURE;
   }
 
   if (model_check) {

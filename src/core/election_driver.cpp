@@ -11,7 +11,6 @@
 #include "support/rng.hpp"
 
 namespace hring::core {
-namespace {
 
 std::unique_ptr<sim::Scheduler> make_scheduler(SchedulerKind kind,
                                                std::uint64_t seed) {
@@ -31,6 +30,8 @@ std::unique_ptr<sim::Scheduler> make_scheduler(SchedulerKind kind,
   }
   HRING_ASSERT(false);
 }
+
+namespace {
 
 std::unique_ptr<sim::DelayModel> make_delay_model(DelayKind kind,
                                                   std::uint64_t seed,

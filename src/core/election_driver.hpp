@@ -11,12 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "election/algorithm.hpp"
 #include "ring/labeled_ring.hpp"
 #include "sim/observer.hpp"
 #include "sim/run_result.hpp"
+#include "sim/scheduler.hpp"
 
 namespace hring::core {
 
@@ -45,6 +47,12 @@ enum class DelayKind : std::uint8_t {
 
 [[nodiscard]] const char* scheduler_kind_name(SchedulerKind kind);
 [[nodiscard]] const char* delay_kind_name(DelayKind kind);
+
+/// Scheduler instance for `kind`; the randomized kinds are seeded with
+/// `seed` (deterministic: the same kind+seed replays the same schedule).
+/// Shared by run_election() and the spec auditor.
+[[nodiscard]] std::unique_ptr<sim::Scheduler> make_scheduler(
+    SchedulerKind kind, std::uint64_t seed);
 
 struct ElectionConfig {
   election::AlgorithmConfig algorithm;

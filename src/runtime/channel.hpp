@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "sim/message.hpp"
+#include "support/assert.hpp"
 
 namespace hring::runtime {
 
@@ -38,9 +39,13 @@ class Channel {
   }
 
   /// Removes and returns the head. Requires a non-empty channel (the
-  /// consumer just peeked it; nobody else pops).
+  /// consumer just peeked it; nobody else pops). The precondition is
+  /// checked under the lock: popping an empty deque is UB that would
+  /// otherwise corrupt the queue silently instead of failing the
+  /// sanitizer runs loudly.
   Message pop() {
     const std::lock_guard<std::mutex> lock(mutex_);
+    HRING_EXPECTS(!queue_.empty());
     const Message msg = queue_.front();
     queue_.pop_front();
     return msg;

@@ -90,12 +90,15 @@ class Process {
   }
 
   // -- spec variables ------------------------------------------------------
+  // Virtual so that scripted test processes can present arbitrary spec
+  // trajectories to the monitor/auditor (e.g. an isLeader revert, which no
+  // protected mutator can produce). Real algorithms never override these.
   [[nodiscard]] ProcessId pid() const { return pid_; }
   [[nodiscard]] Label id() const { return id_; }
-  [[nodiscard]] bool is_leader() const { return is_leader_; }
-  [[nodiscard]] bool done() const { return done_; }
-  [[nodiscard]] std::optional<Label> leader() const { return leader_; }
-  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] virtual bool is_leader() const { return is_leader_; }
+  [[nodiscard]] virtual bool done() const { return done_; }
+  [[nodiscard]] virtual std::optional<Label> leader() const { return leader_; }
+  [[nodiscard]] virtual bool halted() const { return halted_; }
 
  protected:
   /// Copying is reserved for clone() implementations.

@@ -1,0 +1,291 @@
+// audit_algorithm / audit_factory: the §II model-conformance auditor.
+//
+// Positive half: every registered algorithm, audited on a ring matrix
+// n ∈ {2..8} × k ∈ {1..3}, passes every check — including the Theorem 2/4
+// space bounds for A_k/B_k. Negative half: a family of deliberately
+// misbehaving mock algorithms (non-local writes, oversized payloads,
+// send bursts, replay nondeterminism, space-bound breaches) is rejected
+// with the correspondingly named violation.
+#include "core/spec_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ring/generator.hpp"
+#include "ring/labeled_ring.hpp"
+#include "sim/process.hpp"
+#include "support/rng.hpp"
+
+namespace hring::core {
+namespace {
+
+using sim::Context;
+using sim::Label;
+using sim::Message;
+using sim::MsgKind;
+using sim::Process;
+using sim::ProcessId;
+
+bool has_violation(const SpecAuditReport& report,
+                   const std::string& prefix) {
+  for (const auto& v : report.violations) {
+    if (v.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Misbehaving mock family.
+//
+// The skeleton is a correct miniature election: p0 elects itself at init
+// and floods ⟨FINISH_LABEL, id⟩ followed by one or more tokens; everyone
+// else learns from the finish, forwards everything, and halts after the
+// last token; p0 swallows the returning messages and halts. Each mode
+// injects exactly one model violation into that skeleton, so the auditor's
+// rejection can be attributed to the intended check.
+
+enum class Misbehavior {
+  kClean,     // no injected fault — the positive control
+  kNonLocal,  // each receive increments the right neighbor's counter
+  kWide,      // the token's payload does not fit the ring's b label bits
+  kChatty,    // p0's init firing sends a 7-message burst
+  kNondet,    // the token's payload differs between runs
+};
+
+struct MockShared {
+  std::size_t n = 0;
+  std::map<ProcessId, class MisbehavingProcess*> registry;
+  std::uint64_t runs_started = 0;
+};
+
+class MisbehavingProcess final : public Process {
+ public:
+  MisbehavingProcess(ProcessId pid, Label id, Misbehavior mode,
+                     std::shared_ptr<MockShared> shared)
+      : Process(pid, id), mode_(mode), shared_(std::move(shared)) {
+    shared_->registry[pid] = this;
+    if (pid == 0) ++shared_->runs_started;
+  }
+
+  [[nodiscard]] bool enabled(const Message* head) const override {
+    return init_ || head != nullptr;
+  }
+
+  void fire(const Message* /*head*/, Context& ctx) override {
+    if (init_) {
+      init_ = false;
+      if (pid() == 0) {
+        ctx.note_action("elect");
+        declare_leader();
+        set_leader_label(id());
+        set_done();
+        ctx.send(Message::finish_label(id()));
+        for (std::size_t i = 0; i < token_count(); ++i) {
+          ctx.send(Message::token(token_label()));
+        }
+      } else {
+        ctx.note_action("wake");
+      }
+      return;
+    }
+    const Message msg = ctx.consume();
+    if (mode_ == Misbehavior::kNonLocal) {
+      // The injected fault: write into another process's variables.
+      const auto it = shared_->registry.find((pid() + 1) % shared_->n);
+      if (it != shared_->registry.end() && it->second != this) {
+        ++it->second->poked_;
+      }
+    }
+    if (msg.kind == MsgKind::kFinishLabel) {
+      ctx.note_action("learn");
+      if (pid() != 0) {
+        set_leader_label(msg.label);
+        set_done();
+        ctx.send(msg);
+      }
+      return;
+    }
+    ctx.note_action("token");
+    ++tokens_seen_;
+    if (pid() != 0) ctx.send(msg);
+    if (tokens_seen_ == token_count()) halt_self();
+  }
+
+  [[nodiscard]] std::size_t space_bits(std::size_t label_bits) const override {
+    return 2 * label_bits + 4;
+  }
+
+  [[nodiscard]] std::string debug_state() const override {
+    return (init_ ? "INIT" : "RUN") + std::string(" tokens=") +
+           std::to_string(tokens_seen_) + " poked=" +
+           std::to_string(poked_);
+  }
+
+  [[nodiscard]] static sim::ProcessFactory make(
+      Misbehavior mode, std::shared_ptr<MockShared> shared) {
+    return [mode, shared](ProcessId pid, Label id) {
+      return std::make_unique<MisbehavingProcess>(pid, id, mode, shared);
+    };
+  }
+
+ private:
+  [[nodiscard]] std::size_t token_count() const {
+    return mode_ == Misbehavior::kChatty ? 6 : 1;
+  }
+
+  [[nodiscard]] Label token_label() const {
+    switch (mode_) {
+      case Misbehavior::kWide:
+        return Label(std::uint64_t{1} << 40);
+      case Misbehavior::kNondet:
+        return Label(1 + shared_->runs_started % 2);
+      default:
+        return Label(1);
+    }
+  }
+
+  Misbehavior mode_;
+  std::shared_ptr<MockShared> shared_;
+  bool init_ = true;
+  std::size_t tokens_seen_ = 0;
+  std::uint64_t poked_ = 0;
+};
+
+SpecAuditReport audit_mock(Misbehavior mode,
+                           std::optional<std::size_t> space_bound =
+                               std::nullopt) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 3});
+  auto shared = std::make_shared<MockShared>();
+  shared->n = ring.size();
+  SpecAuditConfig config;
+  config.scheduler = SchedulerKind::kRoundRobin;
+  return audit_factory(ring, MisbehavingProcess::make(mode, shared), config,
+                       space_bound);
+}
+
+// ---------------------------------------------------------------------------
+// Negative cases: each fault is rejected with its named violation.
+
+TEST(SpecAuditNegativeTest, CleanMockPasses) {
+  const auto report = audit_mock(Misbehavior::kClean);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_TRUE(report.replay_ran);
+  EXPECT_EQ(report.outcome, sim::Outcome::kTerminated);
+}
+
+TEST(SpecAuditNegativeTest, NonLocalWriteRejected) {
+  const auto report = audit_mock(Misbehavior::kNonLocal);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, "[locality]")) << report.summary();
+}
+
+TEST(SpecAuditNegativeTest, OversizedPayloadRejected) {
+  const auto report = audit_mock(Misbehavior::kWide);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, "[message-width]")) << report.summary();
+}
+
+TEST(SpecAuditNegativeTest, SendBurstRejected) {
+  const auto report = audit_mock(Misbehavior::kChatty);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, "[send-burst]")) << report.summary();
+}
+
+TEST(SpecAuditNegativeTest, NondeterministicReplayRejected) {
+  const auto report = audit_mock(Misbehavior::kNondet);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.replay_ran);
+  EXPECT_TRUE(has_violation(report, "[replay]")) << report.summary();
+}
+
+TEST(SpecAuditNegativeTest, SpaceBoundBreachRejected) {
+  // The clean mock uses 2b+4 bits; bounding it at 1 bit must trip [space].
+  const auto report = audit_mock(Misbehavior::kClean, std::size_t{1});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, "[space]")) << report.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Positive matrix: every algorithm × n ∈ {2..8} × k ∈ {1..3}.
+
+TEST(SpecAuditMatrixTest, PaperAlgorithmsPassOnAsymmetricRings) {
+  support::Rng rng(7);
+  for (std::size_t n = 2; n <= 8; ++n) {
+    for (std::size_t k = 1; k <= 3; ++k) {
+      const std::size_t alphabet =
+          std::max<std::size_t>(3, (n + k - 1) / k + 1);
+      const auto ring =
+          ring::random_asymmetric_ring(n, k, alphabet, rng);
+      ASSERT_TRUE(ring.has_value()) << "n=" << n << " k=" << k;
+      for (const auto id :
+           {election::AlgorithmId::kAk, election::AlgorithmId::kBk}) {
+        SpecAuditConfig config;
+        config.seed = n * 31 + k;
+        const election::AlgorithmConfig algorithm{id, k, false};
+        const auto report = audit_algorithm(*ring, algorithm, config);
+        EXPECT_TRUE(report.ok())
+            << election::algorithm_name(id) << " on " << ring->to_string()
+            << " (k=" << k << "): " << report.summary()
+            << (report.violations.empty() ? "" : "\n  " +
+                                                     report.violations[0]);
+        ASSERT_TRUE(report.space_bound_bits.has_value());
+        EXPECT_LE(report.peak_space_bits, *report.space_bound_bits);
+        EXPECT_TRUE(report.replay_ran);
+      }
+    }
+  }
+}
+
+TEST(SpecAuditMatrixTest, BaselinesPassOnDistinctRings) {
+  support::Rng rng(11);
+  for (std::size_t n = 2; n <= 8; ++n) {
+    const auto ring = ring::distinct_ring(n, rng);
+    for (const auto id : {election::AlgorithmId::kChangRoberts,
+                          election::AlgorithmId::kLeLann,
+                          election::AlgorithmId::kPeterson}) {
+      SpecAuditConfig config;
+      config.seed = n;
+      const election::AlgorithmConfig algorithm{id, 1, false};
+      const auto report = audit_algorithm(ring, algorithm, config);
+      EXPECT_TRUE(report.ok())
+          << election::algorithm_name(id) << " on " << ring.to_string()
+          << ": " << report.summary()
+          << (report.violations.empty() ? "" : "\n  " +
+                                                   report.violations[0]);
+      EXPECT_FALSE(report.space_bound_bits.has_value());
+      EXPECT_TRUE(report.replay_ran);
+    }
+  }
+}
+
+TEST(SpecAuditTest, PaperSpaceBoundFormulas) {
+  // Theorem 2: (2k+1)·n·b + 2b + 3.
+  const election::AlgorithmConfig ak{election::AlgorithmId::kAk, 2, false};
+  EXPECT_EQ(paper_space_bound_bits(ak, 5, 3), (5u * 5 * 3) + 2 * 3 + 3);
+  // Theorem 4: 2⌈log k⌉ + 3b + 5 (⌈log 1⌉ = 0, ⌈log 3⌉ = 2).
+  const election::AlgorithmConfig bk1{election::AlgorithmId::kBk, 1, false};
+  EXPECT_EQ(paper_space_bound_bits(bk1, 5, 3), 3u * 3 + 5);
+  const election::AlgorithmConfig bk3{election::AlgorithmId::kBk, 3, false};
+  EXPECT_EQ(paper_space_bound_bits(bk3, 5, 3), 2u * 2 + 3 * 3 + 5);
+  const election::AlgorithmConfig cr{election::AlgorithmId::kChangRoberts,
+                                     1, false};
+  EXPECT_FALSE(paper_space_bound_bits(cr, 5, 3).has_value());
+}
+
+TEST(SpecAuditTest, SummaryNamesOutcomeAndBudgets) {
+  const auto ring = ring::LabeledRing::from_values({1, 2, 2});
+  const election::AlgorithmConfig algorithm{election::AlgorithmId::kAk, 2,
+                                            false};
+  const auto report = audit_algorithm(ring, algorithm);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_NE(report.summary().find("outcome=terminated"), std::string::npos);
+  EXPECT_NE(report.summary().find("replayed"), std::string::npos);
+  EXPECT_GT(report.firings, 0u);
+  EXPECT_GT(report.messages, 0u);
+}
+
+}  // namespace
+}  // namespace hring::core

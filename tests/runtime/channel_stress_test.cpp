@@ -1,0 +1,149 @@
+// TSan-targeted stress tests for the threaded runtime (`ctest --preset
+// tsan` races these under ThreadSanitizer; they also run in the plain
+// suite). Channel is hammered from multiple producers against a
+// peeking/popping consumer with concurrent kick/size traffic — every
+// interleaving of mutex, condition variable and shutdown path gets
+// exercised — and run_threaded is repeated at worker counts well above
+// the simulator's usual ring sizes.
+#include "runtime/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "election/algorithm.hpp"
+#include "ring/generator.hpp"
+#include "runtime/threaded_ring.hpp"
+
+namespace hring::runtime {
+namespace {
+
+using sim::Label;
+
+TEST(ChannelStressTest, EmptyPopAbortsInsteadOfCorrupting) {
+  // The §II consumer contract: pop only what you peeked. Breaking it must
+  // fail the precondition loudly (it was silent UB before the check).
+  EXPECT_DEATH(Channel().pop(), "precondition");
+}
+
+TEST(ChannelStressTest, MultiProducerPushVsPeekPopAndKick) {
+  Channel channel;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&channel, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        channel.push(Message::token(
+            Label(static_cast<Label::rep_type>(t * kPerProducer + i))));
+      }
+    });
+  }
+  // Antagonist: concurrent kick/size/empty/peek traffic on the same
+  // channel — none of these may race with push or pop.
+  std::thread antagonist([&channel, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      channel.kick();
+      (void)channel.size();
+      (void)channel.empty();
+      (void)channel.peek();
+    }
+  });
+
+  std::size_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    if (channel.peek().has_value()) {
+      (void)channel.pop();
+      ++received;
+    } else {
+      channel.wait_for_change(0, [] { return false; });
+    }
+  }
+  done.store(true);
+  for (auto& p : producers) p.join();
+  antagonist.join();
+  EXPECT_TRUE(channel.empty());
+}
+
+TEST(ChannelStressTest, ShutdownKickWakesParkedWaiter) {
+  // The runtime's shutdown path: a worker parked in wait_for_change must
+  // observe the flag flipped by another thread once kicked, with no
+  // message traffic at all.
+  for (int round = 0; round < 50; ++round) {
+    Channel channel;
+    std::atomic<bool> shutdown{false};
+    std::thread waiter([&] {
+      channel.wait_for_change(
+          0, [&] { return shutdown.load(std::memory_order_relaxed); });
+    });
+    shutdown.store(true, std::memory_order_relaxed);
+    channel.kick();
+    waiter.join();
+  }
+}
+
+TEST(ChannelStressTest, PushRacesShutdownKick) {
+  // Worst-case shutdown: messages still arriving while the consumer is
+  // being kicked awake. The waiter may return on either cause; the
+  // channel must stay consistent throughout.
+  for (int round = 0; round < 25; ++round) {
+    Channel channel;
+    std::atomic<bool> shutdown{false};
+    std::thread producer([&channel] {
+      for (int i = 0; i < 100; ++i) {
+        channel.push(Message::token(Label(7)));
+      }
+    });
+    std::thread kicker([&] {
+      shutdown.store(true, std::memory_order_relaxed);
+      channel.kick();
+    });
+    std::size_t drained = 0;
+    while (drained < 100) {
+      if (channel.peek().has_value()) {
+        (void)channel.pop();
+        ++drained;
+      } else {
+        channel.wait_for_change(0, [&] {
+          return shutdown.load(std::memory_order_relaxed);
+        });
+      }
+    }
+    producer.join();
+    kicker.join();
+    EXPECT_TRUE(channel.empty());
+  }
+}
+
+TEST(ChannelStressTest, RepeatedThreadedElectionsHighWorkerCount) {
+  // 24 worker threads per run, repeated: far more concurrency than the
+  // ring sizes the simulator tests use, on both algorithms. Every run
+  // must terminate cleanly with the true leader.
+  support::Rng rng(0x5EED);
+  const auto ring = ring::random_asymmetric_ring(24, 2, 14, rng);
+  ASSERT_TRUE(ring.has_value());
+  const auto expected = ring->true_leader();
+  for (int run = 0; run < 4; ++run) {
+    const auto result = run_threaded(
+        *ring,
+        election::make_factory({election::AlgorithmId::kAk, 2, false}));
+    ASSERT_EQ(result.outcome, sim::Outcome::kTerminated) << "run " << run;
+    EXPECT_EQ(result.leader_pid(), std::optional<sim::ProcessId>(expected));
+    EXPECT_EQ(result.messages_sent, result.messages_received);
+  }
+  for (int run = 0; run < 2; ++run) {
+    const auto result = run_threaded(
+        *ring,
+        election::make_factory({election::AlgorithmId::kBk, 2, false}));
+    ASSERT_EQ(result.outcome, sim::Outcome::kTerminated) << "run " << run;
+    EXPECT_EQ(result.leader_pid(), std::optional<sim::ProcessId>(expected));
+  }
+}
+
+}  // namespace
+}  // namespace hring::runtime
