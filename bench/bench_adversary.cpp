@@ -20,11 +20,14 @@
 
 int main(int argc, char** argv) {
   using namespace hring;
-  const bool csv = benchutil::want_csv(argc, argv);
+  const auto format = benchutil::output_format(argc, argv);
+  const bool smoke = benchutil::smoke_mode(argc, argv);
 
-  constexpr std::size_t kSamples = 64;
-  std::cout << "E12: randomized-daemon adversary search (" << kSamples
-            << " schedules per cell)\n\n";
+  const std::size_t kSamples = smoke ? 8 : 64;
+  if (format != benchutil::Format::kJson) {
+    std::cout << "E12: randomized-daemon adversary search (" << kSamples
+              << " schedules per cell)\n\n";
+  }
   support::Table table({"algo", "n", "k", "daemon", "min steps",
                         "max steps", "sync steps", "lower bound",
                         "ceiling (msgs+n)"});
@@ -33,6 +36,7 @@ int main(int argc, char** argv) {
   for (const auto algo :
        {election::AlgorithmId::kAk, election::AlgorithmId::kBk}) {
     for (const std::size_t n : {8u, 16u}) {
+      if (smoke && n > 8) continue;
       const std::size_t k = 2;
       const auto ring =
           ring::random_asymmetric_ring(n, k, (n + k - 1) / k + 2, ring_rng);
@@ -71,10 +75,12 @@ int main(int argc, char** argv) {
       }
     }
   }
-  benchutil::emit(table, csv);
-  std::cout << "\npaper: the winner is schedule-independent (checked for "
-               "every sample); min steps\nrespects the Lemma 1 bound; "
-               "sequential daemons stretch executions toward one\naction "
-               "per step but never past the message-count ceiling.\n";
+  benchutil::emit(table, format);
+  benchutil::footer(
+      format,
+      "\npaper: the winner is schedule-independent (checked for "
+      "every sample); min steps\nrespects the Lemma 1 bound; "
+      "sequential daemons stretch executions toward one\naction "
+      "per step but never past the message-count ceiling.\n");
   return 0;
 }

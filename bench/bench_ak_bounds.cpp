@@ -18,11 +18,13 @@
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
-  const bool csv = hring::benchutil::want_csv(argc, argv);
   using namespace hring;
+  const auto format = benchutil::output_format(argc, argv);
+  const bool smoke = benchutil::smoke_mode(argc, argv);
 
-  std::cout << "E3: A_k measured vs Theorem 2 bounds (event engine, unit "
-               "delays)\n\n";
+  benchutil::headline(format,
+                      "E3: A_k measured vs Theorem 2 bounds (event engine, "
+                      "unit delays)");
   support::Table table({"profile", "n", "k", "time", "(2k+2)n", "t-ratio",
                         "msgs", "n2(2k+1)+n", "m-ratio", "bits",
                         "space bound", "s-ratio"});
@@ -64,6 +66,7 @@ int main(int argc, char** argv) {
 
   for (const std::size_t k : {1u, 2u, 4u}) {
     for (const std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+      if (smoke && (k > 2 || n > 16)) continue;
       // distinct-label profile (M = 1, the time bound's worst case).
       run_row("distinct", ring::distinct_ring(n, rng), k);
       // saturated profile: some label occurs exactly k times.
@@ -75,11 +78,13 @@ int main(int argc, char** argv) {
       if (k >= 2) run_row("unique", ring::unique_label_ring(n, k, rng), k);
     }
   }
-  hring::benchutil::emit(table, csv);
-  std::cout << "\npaper: every ratio <= 1 (the bounds are sound); the "
-               "distinct profile pushes the\ntime ratio toward 1 "
-               "(m = (2k+1)n + n-ish of the (2k+2)n budget), saturated "
-               "rings\ndetect after ~ (2k+1)n/k tokens and sit well below "
-               "it.\n";
+  benchutil::emit(table, format);
+  benchutil::footer(
+      format,
+      "\npaper: every ratio <= 1 (the bounds are sound); the "
+      "distinct profile pushes the\ntime ratio toward 1 "
+      "(m = (2k+1)n + n-ish of the (2k+2)n budget), saturated "
+      "rings\ndetect after ~ (2k+1)n/k tokens and sit well below "
+      "it.\n");
   return 0;
 }

@@ -15,15 +15,18 @@
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
-  const bool csv = hring::benchutil::want_csv(argc, argv);
   using namespace hring;
+  const auto format = benchutil::output_format(argc, argv);
+  const bool smoke = benchutil::smoke_mode(argc, argv);
 
-  std::cout << "E9: all algorithms on random K_1 rings (event engine, "
-               "unit delays, k = 1)\n\n";
+  benchutil::headline(format,
+                      "E9: all algorithms on random K_1 rings (event "
+                      "engine, unit delays, k = 1)");
   support::Table table({"algo", "n", "msgs", "msgs/n2", "time", "time/n",
                         "bits/proc", "comparisons"});
   support::Rng rng(0xE9);
   for (const std::size_t n : {8u, 16u, 32u, 64u}) {
+    if (smoke && n > 16) continue;
     const auto ring = ring::distinct_ring(n, rng);
     for (const auto algo : election::all_algorithms()) {
       core::ElectionConfig config;
@@ -50,11 +53,13 @@ int main(int argc, char** argv) {
           .cell(m.result.stats.label_comparisons);
     }
   }
-  hring::benchutil::emit(table, csv);
-  std::cout << "\nreading: Peterson's msgs/n2 vanishes (O(n log n)); "
-               "LeLann sits at 1+1/n exactly;\nA_1/B_1 pay the homonym "
-               "premium (msgs/n2 ~= 3 and ~1) but are the only rows\n"
-               "that still work when labels repeat. Time: every algorithm "
-               "is O(n) here except\nB_k (O(n2): phase barriers).\n";
+  benchutil::emit(table, format);
+  benchutil::footer(
+      format,
+      "\nreading: Peterson's msgs/n2 vanishes (O(n log n)); "
+      "LeLann sits at 1+1/n exactly;\nA_1/B_1 pay the homonym "
+      "premium (msgs/n2 ~= 3 and ~1) but are the only rows\n"
+      "that still work when labels repeat. Time: every algorithm "
+      "is O(n) here except\nB_k (O(n2): phase barriers).\n");
   return 0;
 }

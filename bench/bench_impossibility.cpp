@@ -16,16 +16,19 @@
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
-  const bool csv = hring::benchutil::want_csv(argc, argv);
   using namespace hring;
+  const auto format = benchutil::output_format(argc, argv);
+  const bool smoke = benchutil::smoke_mode(argc, argv);
 
-  std::cout << "E2: A_k on fooling rings R_{n,k'} in U* \\ K_k "
-               "(k' = 2k+3)\n\n";
+  benchutil::headline(format,
+                      "E2: A_k on fooling rings R_{n,k'} in U* \\ K_k "
+                      "(k' = 2k+3)");
   support::Table table({"k (algo)", "n (base)", "k' (actual)", "|R|",
                         "outcome", "violation step", "T_base", "(k'-2)n",
                         "false leaders"});
   for (const std::size_t k : {1u, 2u, 3u, 4u}) {
     for (const std::size_t n : {3u, 4u, 6u}) {
+      if (smoke && (k > 2 || n > 4)) continue;
       const auto base = ring::sequential_ring(n);
       const std::size_t k_actual = 2 * k + 3;
       const auto fooled = ring::fooling_ring(base, k_actual);
@@ -54,12 +57,13 @@ int main(int argc, char** argv) {
           .cell(static_cast<std::uint64_t>(false_leaders));
     }
   }
-  hring::benchutil::emit(table, csv);
-  std::cout
-      << "\npaper: every row must end in a violation with >= 2 false "
-         "leaders (Theorem 1 via\nLemma 1), at a step <= T_base <= "
-         "(k'-2)n — the replay window of the construction.\nKnowing the "
-         "honest k' makes the same rings electable (see "
-         "impossibility_demo).\n";
+  benchutil::emit(table, format);
+  benchutil::footer(
+      format,
+      "\npaper: every row must end in a violation with >= 2 false "
+      "leaders (Theorem 1 via\nLemma 1), at a step <= T_base <= "
+      "(k'-2)n — the replay window of the construction.\nKnowing the "
+      "honest k' makes the same rings electable (see "
+      "impossibility_demo).\n");
   return 0;
 }

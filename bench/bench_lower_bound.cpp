@@ -14,11 +14,13 @@
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
-  const bool csv = hring::benchutil::want_csv(argc, argv);
   using namespace hring;
+  const auto format = benchutil::output_format(argc, argv);
+  const bool smoke = benchutil::smoke_mode(argc, argv);
 
-  std::cout << "E1: synchronous steps vs the Lemma 1 lower bound "
-               "1 + (k-2)n on K_1 rings\n\n";
+  benchutil::headline(format,
+                      "E1: synchronous steps vs the Lemma 1 lower bound "
+                      "1 + (k-2)n on K_1 rings");
   support::Table table({"algo", "n", "k", "steps", "bound 1+(k-2)n",
                         "steps/bound", "steps/(k*n)"});
   for (const auto algo :
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
         // B_16 on n=64 runs ~1M synchronous steps; trim the quadratic
         // corner to keep the harness snappy without losing the trend.
         if (algo == election::AlgorithmId::kBk && k * n > 512) continue;
+        if (smoke && (k > 4 || n > 16)) continue;
         const auto ring = ring::sequential_ring(n);
         core::ElectionConfig config;
         config.algorithm = {algo, k, false};
@@ -52,10 +55,12 @@ int main(int argc, char** argv) {
       }
     }
   }
-  hring::benchutil::emit(table, csv);
-  std::cout << "\npaper: steps/bound must be >= 1 for every row (Lemma 1); "
-               "A_k's steps/(k*n)\nstays bounded (time-optimality, "
-               "Corollary 2 + Theorem 2), while B_k's grows with k*n\n"
-               "(its time is Theta(k^2 n^2), Theorem 4).\n";
+  benchutil::emit(table, format);
+  benchutil::footer(
+      format,
+      "\npaper: steps/bound must be >= 1 for every row (Lemma 1); "
+      "A_k's steps/(k*n)\nstays bounded (time-optimality, "
+      "Corollary 2 + Theorem 2), while B_k's grows with k*n\n"
+      "(its time is Theta(k^2 n^2), Theorem 4).\n");
   return 0;
 }

@@ -47,19 +47,24 @@ double loglog_slope(const std::vector<Cell>& cells,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = benchutil::want_csv(argc, argv);
+  const auto format = benchutil::output_format(argc, argv);
+  const bool smoke = benchutil::smoke_mode(argc, argv);
   const std::size_t k = 2;
 
-  std::cout << "E11: growth exponents from log-log fits (k = " << k
-            << ", unit delays, distinct-label rings)\n\n";
+  if (format != benchutil::Format::kJson) {
+    std::cout << "E11: growth exponents from log-log fits (k = " << k
+              << ", unit delays, distinct-label rings)\n\n";
+  }
   support::Table table({"algo", "n", "time", "msgs"});
 
   for (const auto algo :
        {election::AlgorithmId::kAk, election::AlgorithmId::kBk}) {
-    const std::vector<std::size_t> sizes =
+    std::vector<std::size_t> sizes =
         algo == election::AlgorithmId::kAk
             ? std::vector<std::size_t>{16, 32, 64, 128, 256}
             : std::vector<std::size_t>{8, 16, 32, 64};
+    // The fit needs >= 3 sizes; smoke keeps the three smallest.
+    if (smoke) sizes.resize(3);
     const auto cells = core::parallel_map<Cell>(
         sizes.size(), [&](std::size_t i) {
           const std::size_t n = sizes[i];
@@ -81,19 +86,23 @@ int main(int argc, char** argv) {
           .cell(c.time, 0)
           .cell(c.messages, 0);
     }
-    const double t_slope =
-        loglog_slope(cells, [](const Cell& c) { return c.time; });
-    const double m_slope =
-        loglog_slope(cells, [](const Cell& c) { return c.messages; });
-    std::cout << election::algorithm_name(algo)
-              << ": time exponent = " << t_slope
-              << " (paper: " << (algo == election::AlgorithmId::kAk ? 1 : 2)
-              << "), message exponent = " << m_slope << " (paper: 2)\n";
+    if (format != benchutil::Format::kJson) {
+      const double t_slope =
+          loglog_slope(cells, [](const Cell& c) { return c.time; });
+      const double m_slope =
+          loglog_slope(cells, [](const Cell& c) { return c.messages; });
+      std::cout << election::algorithm_name(algo)
+                << ": time exponent = " << t_slope << " (paper: "
+                << (algo == election::AlgorithmId::kAk ? 1 : 2)
+                << "), message exponent = " << m_slope << " (paper: 2)\n";
+    }
   }
-  std::cout << "\n";
-  benchutil::emit(table, csv);
-  std::cout << "\npaper: A_k time is Theta(k n) -> exponent ~1 in n; all "
-               "message complexities and\nB_k's time are Theta(n^2) at "
-               "fixed k -> exponents ~2.\n";
+  if (format != benchutil::Format::kJson) std::cout << "\n";
+  benchutil::emit(table, format);
+  benchutil::footer(
+      format,
+      "\npaper: A_k time is Theta(k n) -> exponent ~1 in n; all "
+      "message complexities and\nB_k's time are Theta(n^2) at "
+      "fixed k -> exponents ~2.\n");
   return 0;
 }

@@ -16,18 +16,22 @@
 
 int main(int argc, char** argv) {
   using namespace hring;
-  const bool csv = benchutil::want_csv(argc, argv);
+  const auto format = benchutil::output_format(argc, argv);
+  const bool smoke = benchutil::smoke_mode(argc, argv);
   using Clock = std::chrono::steady_clock;
 
-  constexpr int kRuns = 5;
-  std::cout << "E15: threaded runtime vs step engine (" << kRuns
-            << " runs per cell)\n\n";
+  const int kRuns = smoke ? 2 : 5;
+  if (format != benchutil::Format::kJson) {
+    std::cout << "E15: threaded runtime vs step engine (" << kRuns
+              << " runs per cell)\n\n";
+  }
   support::Table table({"algo", "n", "k", "threaded ms/run", "sim ms/run",
                         "msgs (threaded)", "msgs (sim)", "leaders ok"});
   support::Rng rng(0xE15);
   for (const auto algo :
        {election::AlgorithmId::kAk, election::AlgorithmId::kBk}) {
     for (const std::size_t n : {4u, 8u, 16u, 32u}) {
+      if (smoke && n > 8) continue;
       const std::size_t k = 2;
       const auto ring =
           ring::random_asymmetric_ring(n, k, (n + k - 1) / k + 2, rng);
@@ -58,7 +62,7 @@ int main(int argc, char** argv) {
       }
       const auto t3 = Clock::now();
 
-      const auto ms = [](Clock::duration d) {
+      const auto ms = [kRuns](Clock::duration d) {
         return std::chrono::duration<double, std::milli>(d).count() /
                kRuns;
       };
@@ -73,11 +77,13 @@ int main(int argc, char** argv) {
           .cell(leaders_ok ? "yes" : "NO");
     }
   }
-  benchutil::emit(table, csv);
-  std::cout << "\nreading: the winner is identical in every run (theorems "
-               "hold under real\nschedules); message counts may differ "
-               "between interleavings for B_k (discard\norder) while A_k's "
-               "are schedule-invariant; thread wake-ups dominate the\n"
-               "threaded wall-clock.\n";
+  benchutil::emit(table, format);
+  benchutil::footer(
+      format,
+      "\nreading: the winner is identical in every run (theorems "
+      "hold under real\nschedules); message counts may differ "
+      "between interleavings for B_k (discard\norder) while A_k's "
+      "are schedule-invariant; thread wake-ups dominate the\n"
+      "threaded wall-clock.\n");
   return 0;
 }

@@ -13,11 +13,13 @@
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
-  const bool csv = hring::benchutil::want_csv(argc, argv);
   using namespace hring;
+  const auto format = benchutil::output_format(argc, argv);
+  const bool smoke = benchutil::smoke_mode(argc, argv);
 
-  std::cout << "E7: A_k vs B_k on shared rings (event engine, unit "
-               "delays)\n\n";
+  benchutil::headline(format,
+                      "E7: A_k vs B_k on shared rings (event engine, unit "
+                      "delays)");
   support::Table table({"n", "k", "Ak time", "Bk time", "Bk/Ak time",
                         "Ak bits", "Bk bits", "Ak/Bk bits", "Ak msgs",
                         "Bk msgs"});
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
   for (const std::size_t k : {2u, 4u}) {
     for (const std::size_t n : {8u, 16u, 32u, 64u}) {
       if (k * n > 192) continue;
+      if (smoke && (k > 2 || n > 16)) continue;
       const auto ring = ring::random_asymmetric_ring(
           n, k, (n + k - 1) / k + 2, rng);
       if (!ring) continue;
@@ -57,9 +60,11 @@ int main(int argc, char** argv) {
           .cell(mb.result.stats.messages_sent);
     }
   }
-  hring::benchutil::emit(table, csv);
-  std::cout << "\npaper: A_k wins time by a factor growing ~k*n; B_k wins "
-               "space by a factor\ngrowing ~n. Neither dominates — the "
-               "classical trade-off of the abstract.\n";
+  benchutil::emit(table, format);
+  benchutil::footer(
+      format,
+      "\npaper: A_k wins time by a factor growing ~k*n; B_k wins "
+      "space by a factor\ngrowing ~n. Neither dominates — the "
+      "classical trade-off of the abstract.\n");
   return 0;
 }

@@ -1,26 +1,57 @@
 // Shared plumbing for the table benches: `--csv` switches the output from
-// the aligned console table to RFC-4180 CSV, for downstream plotting.
+// the aligned console table to RFC-4180 CSV, `--json` to a JSON array of
+// row objects (prose headlines and footers are suppressed so the stream
+// is machine-parseable), and `--smoke` asks the bench to shrink its grid
+// to a seconds-scale sanity pass — CI runs every binary that way.
 #pragma once
 
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "support/table.hpp"
 
 namespace hring::benchutil {
 
-[[nodiscard]] inline bool want_csv(int argc, char** argv) {
+enum class Format { kTable, kCsv, kJson };
+
+[[nodiscard]] inline bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) return true;
+    if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
 }
 
-inline void emit(const support::Table& table, bool csv) {
-  if (csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
+/// Output format requested on the command line.
+[[nodiscard]] inline Format output_format(int argc, char** argv) {
+  if (has_flag(argc, argv, "--json")) return Format::kJson;
+  if (has_flag(argc, argv, "--csv")) return Format::kCsv;
+  return Format::kTable;
+}
+
+/// True when `--smoke` is present: the bench should run its smallest
+/// representative grid, trading statistical weight for wall time.
+[[nodiscard]] inline bool smoke_mode(int argc, char** argv) {
+  return has_flag(argc, argv, "--smoke");
+}
+
+/// Prose line preceding a table — dropped in JSON mode, where the output
+/// must stay a single parseable value.
+inline void headline(Format format, const std::string& text) {
+  if (format != Format::kJson) std::cout << text << "\n\n";
+}
+
+/// Prose after the table (interpretation, paper cross-references) —
+/// likewise dropped in JSON mode.
+inline void footer(Format format, const std::string& text) {
+  if (format != Format::kJson) std::cout << text;
+}
+
+inline void emit(const support::Table& table, Format format) {
+  switch (format) {
+    case Format::kCsv: table.print_csv(std::cout); break;
+    case Format::kJson: table.print_json(std::cout); break;
+    case Format::kTable: table.print(std::cout); break;
   }
 }
 

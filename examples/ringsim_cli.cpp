@@ -14,6 +14,8 @@
 #include <string>
 
 #include "core/election_driver.hpp"
+#include "core/experiment.hpp"
+#include "core/parallel_sweep.hpp"
 #include "core/spec_audit.hpp"
 #include "core/verification.hpp"
 #include "ring/classes.hpp"
@@ -23,16 +25,20 @@
 #include "core/ringspec.hpp"
 #include "sim/render.hpp"
 #include "sim/trace.hpp"
+#include "support/table.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::cout
-      << "usage: " << argv0 << " [audit] [options]\n"
+      << "usage: " << argv0 << " [audit|sweep] [options]\n"
       << "  audit               subcommand: §II model-conformance audit of\n"
          "                      the selected algorithm on the selected ring\n"
          "                      (replay determinism, locality, message and\n"
          "                      space bounds, FIFO discipline)\n"
+      << "  sweep               subcommand: run the election across many\n"
+         "                      consecutive seeds on a worker pool (one\n"
+         "                      row per run; identical for any --workers)\n"
       << "  --ring A,B,C,...    clockwise labels (unsigned integers)\n"
       << "  --random-n N        instead of --ring: random asymmetric ring\n"
       << "  --spec FILE         load ring + config from a ringspec file\n"
@@ -51,7 +57,10 @@ void usage(const char* argv0) {
       << "  --model-check       exhaustively verify EVERY schedule (small\n"
          "                      rings; Ak/Bk only) instead of one run\n"
       << "  --json              emit the full run report as JSON\n"
-      << "  --quiet             outcome + stats only\n";
+      << "  --quiet             outcome + stats only\n"
+      << "  --runs N            sweep: number of seeds (default 16)\n"
+      << "  --workers W         sweep: worker threads (default: hardware"
+         " concurrency)\n";
 }
 
 std::optional<hring::words::LabelSequence> parse_ring(const std::string& s) {
@@ -85,11 +94,17 @@ int main(int argc, char** argv) {
   bool model_check = false;
   bool json = false;
   bool audit = false;
+  bool sweep = false;
   std::uint64_t watch_every = 0;
+  std::size_t runs = 16;
+  std::size_t workers = 0;
 
   int first_arg = 1;
   if (argc > 1 && std::string(argv[1]) == "audit") {
     audit = true;
+    first_arg = 2;
+  } else if (argc > 1 && std::string(argv[1]) == "sweep") {
+    sweep = true;
     first_arg = 2;
   }
 
@@ -176,6 +191,10 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--runs") {
+      runs = static_cast<std::size_t>(std::stoull(next()));
+    } else if (arg == "--workers") {
+      workers = static_cast<std::size_t>(std::stoull(next()));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return EXIT_SUCCESS;
@@ -231,6 +250,66 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (sweep) {
+    // One election per seed, fanned out with core::parallel_map. The ring
+    // is fixed; the seed varies the daemon/delay randomness, so the table
+    // samples the schedule space. Cells derive everything from their index
+    // — the table is identical for any --workers.
+    struct Cell {
+      std::uint64_t seed;
+      std::string outcome;
+      std::optional<sim::ProcessId> leader;
+      std::uint64_t steps;
+      std::uint64_t msgs;
+      double time;
+      std::uint64_t bits;
+      bool ok;
+    };
+    const auto base_config = config;
+    const auto cells = core::parallel_map<Cell>(
+        runs,
+        [&](std::size_t i) {
+          core::ElectionConfig cell_config = base_config;
+          cell_config.seed = base_config.seed + i;
+          const auto m = core::measure(*ring, cell_config);
+          return Cell{cell_config.seed,
+                      sim::outcome_name(m.result.outcome),
+                      m.result.leader_pid(),
+                      m.result.stats.steps,
+                      m.result.stats.messages_sent,
+                      m.result.stats.time_units,
+                      m.result.stats.peak_space_bits,
+                      m.ok()};
+        },
+        workers);
+    support::Table table({"seed", "outcome", "leader", "steps", "msgs",
+                          "time", "peak bits", "verified"});
+    bool all_ok = true;
+    for (const Cell& c : cells) {
+      all_ok = all_ok && c.ok;
+      table.row()
+          .cell(c.seed)
+          .cell(c.outcome)
+          .cell(c.leader ? "p" + std::to_string(*c.leader) : "-")
+          .cell(c.steps)
+          .cell(c.msgs)
+          .cell(c.time, 0)
+          .cell(c.bits)
+          .cell(c.ok ? "yes" : "NO");
+    }
+    if (json) {
+      table.print_json(std::cout);
+    } else {
+      table.print(std::cout);
+      std::cout << "\nsweep: " << runs << " runs, "
+                << (workers == 0 ? core::default_worker_count() : workers)
+                << " workers, "
+                << (all_ok ? "all verified" : "VERIFICATION FAILURES")
+                << "\n";
+    }
+    return all_ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  }
+
   if (audit) {
     core::SpecAuditConfig audit_config;
     audit_config.scheduler = config.scheduler;
@@ -247,13 +326,12 @@ int main(int argc, char** argv) {
   }
 
   if (model_check) {
-    if (*algo != election::AlgorithmId::kAk &&
-        *algo != election::AlgorithmId::kBk) {
-      std::cerr << "--model-check supports Ak and Bk only\n";
-      return EXIT_FAILURE;
-    }
     core::ModelCheckConfig check_config;
-    check_config.check_true_leader = report.asymmetric;
+    // The baselines elect the maximum label, which need not be the paper's
+    // true leader; only A_k/B_k are held to it.
+    const bool paper_algo = *algo == election::AlgorithmId::kAk ||
+                            *algo == election::AlgorithmId::kBk;
+    check_config.check_true_leader = report.asymmetric && paper_algo;
     const auto check = core::check_all_schedules(
         *ring, {*algo, k, false}, check_config);
     std::cout << "model check: " << check.to_string() << "\n";

@@ -85,11 +85,13 @@ sim::RunResult run_election(const ring::LabeledRing& ring,
       election::make_factory(config.algorithm);
   sim::SpecMonitor monitor;
 
-  const auto wire = [&](sim::RingExecution& engine) {
+  const auto wire = [&](sim::ExecutionCore& engine) {
     if (config.monitor_spec) {
       engine.add_observer(&monitor);
       if (config.stop_on_violation) {
-        engine.set_stop_predicate([&monitor] { return monitor.violated(); });
+        engine.set_stop_hook(&monitor, [](void* ctx) {
+          return static_cast<sim::SpecMonitor*>(ctx)->violated();
+        });
       }
     }
     for (sim::Observer* obs : config.extra_observers) {
@@ -97,12 +99,16 @@ sim::RunResult run_election(const ring::LabeledRing& ring,
     }
   };
 
+  // One engine of each kind per thread, recycled across calls: sweeps run
+  // thousands of cells through run_election, and prepare() rebinds the
+  // engine without reallocating links, counters or the wake heap.
   sim::RunResult result;
   if (config.engine == EngineKind::kStep) {
     const auto scheduler = make_scheduler(config.scheduler, config.seed);
     sim::StepConfig step_config;
     step_config.max_steps = config.budget;
-    sim::StepEngine engine(ring, factory, *scheduler, step_config);
+    static thread_local sim::StepEngine engine;
+    engine.prepare(ring, factory, *scheduler, step_config);
     wire(engine);
     result = engine.run();
   } else {
@@ -110,7 +116,8 @@ sim::RunResult run_election(const ring::LabeledRing& ring,
         make_delay_model(config.delay, config.seed, ring.size());
     sim::EventConfig event_config;
     event_config.max_actions = config.budget;
-    sim::EventEngine engine(ring, factory, *delay, event_config);
+    static thread_local sim::EventEngine engine;
+    engine.prepare(ring, factory, *delay, event_config);
     wire(engine);
     result = engine.run();
   }

@@ -1,7 +1,6 @@
 #include "core/model_checker.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <unordered_set>
@@ -13,78 +12,36 @@
 namespace hring::core {
 namespace {
 
+using sim::Label;
 using sim::Message;
 using sim::Process;
 using sim::ProcessId;
 
-/// One global configuration: all local states plus all link contents.
-struct Configuration {
-  std::vector<std::unique_ptr<Process>> procs;
-  std::vector<std::deque<Message>> links;  // links[i]: p_i -> p_{i+1}
+/// Flat FIFO message queue of the working configuration. pop is a head
+/// bump; restore() rebuilds the queue in place, keeping capacity.
+struct CheckLink {
+  std::vector<Message> queue;
+  std::size_t head = 0;
 
-  [[nodiscard]] std::size_t size() const { return procs.size(); }
-
-  [[nodiscard]] Configuration clone() const {
-    Configuration out;
-    out.procs.reserve(procs.size());
-    for (const auto& p : procs) {
-      auto copy = p->clone();
-      HRING_EXPECTS(copy != nullptr);  // algorithm must support checking
-      out.procs.push_back(std::move(copy));
-    }
-    out.links = links;
-    return out;
-  }
-
-  [[nodiscard]] const std::deque<Message>& in_link(ProcessId pid) const {
-    return links[(pid + links.size() - 1) % links.size()];
-  }
-  [[nodiscard]] std::deque<Message>& in_link(ProcessId pid) {
-    return links[(pid + links.size() - 1) % links.size()];
-  }
-
-  [[nodiscard]] const Message* head(ProcessId pid) const {
-    const auto& link = in_link(pid);
-    return link.empty() ? nullptr : &link.front();
-  }
-
-  [[nodiscard]] bool enabled(ProcessId pid) const {
-    const Process& p = *procs[pid];
-    return !p.halted() && p.enabled(head(pid));
-  }
-
-  static constexpr std::uint64_t kSeparator = 0x5E9A7A70A11C0DEULL;
-
-  [[nodiscard]] std::uint64_t hash() const {
-    std::vector<std::uint64_t> words;
-    for (const auto& p : procs) {
-      p->encode(words);
-      words.push_back(kSeparator);
-    }
-    for (const auto& link : links) {
-      for (const Message& m : link) {
-        words.push_back(static_cast<std::uint64_t>(m.kind));
-        words.push_back(m.label.value());
-      }
-      words.push_back(kSeparator);
-    }
-    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
-    for (const std::uint64_t w : words) {
-      std::uint64_t mixed = state ^ w;
-      state = support::splitmix64(mixed);
-    }
-    return state;
+  [[nodiscard]] bool empty() const { return head == queue.size(); }
+  [[nodiscard]] std::size_t size() const { return queue.size() - head; }
+  [[nodiscard]] const Message& front() const { return queue[head]; }
+  void pop_front() { ++head; }
+  void push_back(const Message& msg) { queue.push_back(msg); }
+  void clear() {
+    queue.clear();
+    head = 0;
   }
 };
 
-/// Context for one firing inside a Configuration.
+/// Context for one firing inside the working configuration.
 class CheckContext final : public sim::Context {
  public:
-  CheckContext(Configuration& config, ProcessId pid)
-      : config_(config), pid_(pid) {}
+  CheckContext(std::vector<CheckLink>& links, ProcessId pid)
+      : links_(links), pid_(pid) {}
 
   Message consume() override {
-    auto& link = config_.in_link(pid_);
+    CheckLink& link = links_[pid_ == 0 ? links_.size() - 1 : pid_ - 1];
     HRING_EXPECTS(!link.empty());
     HRING_EXPECTS(!consumed_);
     consumed_ = true;
@@ -93,14 +50,12 @@ class CheckContext final : public sim::Context {
     return msg;
   }
 
-  void send(const Message& msg) override {
-    config_.links[pid_].push_back(msg);
-  }
+  void send(const Message& msg) override { links_[pid_].push_back(msg); }
 
   void note_action(std::string_view) override {}
 
  private:
-  Configuration& config_;
+  std::vector<CheckLink>& links_;
   ProcessId pid_;
   bool consumed_ = false;
 };
@@ -111,10 +66,12 @@ class Checker {
           const election::AlgorithmConfig& algorithm,
           const ModelCheckConfig& config)
       : ring_(ring), config_(config) {
+    // The enabled set per configuration is a single word-wide bitmask.
+    HRING_EXPECTS(ring.size() <= 64);
     const auto factory = election::make_factory(algorithm);
-    initial_.links.resize(ring.size());
+    links_.resize(ring.size());
     for (ProcessId pid = 0; pid < ring.size(); ++pid) {
-      initial_.procs.push_back(factory(pid, ring.label(pid)));
+      procs_.push_back(factory(pid, ring.label(pid)));
     }
     if (config_.check_true_leader) {
       expected_leader_ = ring.true_leader();
@@ -122,24 +79,91 @@ class Checker {
   }
 
   ModelCheckReport run() {
-    check_safety(initial_, "initial configuration");
-    visited_.insert(initial_.hash());
+    check_safety("initial configuration");
+    encode_snapshot();
+    visited_.insert(hash_from(0));
     report_.configurations = 1;
-    explore(initial_, 0);
+    explore(/*depth=*/0, /*base=*/0);
     report_.complete = !budget_exhausted_;
     return report_;
   }
 
  private:
+  static constexpr std::uint64_t kSeparator = 0x5E9A7A70A11C0DEULL;
+
   void fail(const std::string& what) {
     report_.ok = false;
     if (report_.violations.size() < 16) report_.violations.push_back(what);
   }
 
-  /// Per-configuration safety (spec bullets 1 and 3/4 state parts).
-  void check_safety(const Configuration& config, const std::string& where) {
+  [[nodiscard]] const Message* head_of(ProcessId pid) const {
+    const CheckLink& link = links_[pid == 0 ? links_.size() - 1 : pid - 1];
+    return link.empty() ? nullptr : &link.front();
+  }
+
+  [[nodiscard]] bool enabled(ProcessId pid) const {
+    const Process& p = *procs_[pid];
+    return !p.halted() && p.enabled(head_of(pid));
+  }
+
+  /// Appends the working configuration's snapshot to the arena: per
+  /// process the encode() words plus a separator (a parse-time integrity
+  /// check), per link its in-flight count followed by (kind, label) pairs.
+  void encode_snapshot() {
+    for (const auto& p : procs_) {
+      p->encode(arena_);
+      arena_.push_back(kSeparator);
+    }
+    for (const CheckLink& link : links_) {
+      arena_.push_back(link.size());
+      for (std::size_t i = link.head; i < link.queue.size(); ++i) {
+        arena_.push_back(static_cast<std::uint64_t>(link.queue[i].kind));
+        arena_.push_back(link.queue[i].label.value());
+      }
+    }
+  }
+
+  /// Rewinds the working configuration to the snapshot at arena offset
+  /// `base`, reusing every buffer.
+  void restore_snapshot(std::size_t base) {
+    const std::uint64_t* it = arena_.data() + base;
+    const std::uint64_t* const end = arena_.data() + arena_.size();
+    for (const auto& p : procs_) {
+      const bool restored = p->decode(it, end);
+      // The factory's processes must support restoration (A_k, B_k and
+      // the identified-ring baselines implement decode()).
+      HRING_EXPECTS(restored);
+      HRING_EXPECTS(it != end && *it == kSeparator);
+      ++it;
+    }
+    for (CheckLink& link : links_) {
+      HRING_EXPECTS(it != end);
+      const std::uint64_t count = *it++;
+      HRING_EXPECTS(static_cast<std::uint64_t>(end - it) >= 2 * count);
+      link.clear();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto kind = static_cast<sim::MsgKind>(*it++);
+        const Label label(static_cast<Label::rep_type>(*it++));
+        link.push_back(Message{kind, label});
+      }
+    }
+  }
+
+  /// splitmix64 chain over the snapshot words starting at `base`.
+  [[nodiscard]] std::uint64_t hash_from(std::size_t base) const {
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t i = base; i < arena_.size(); ++i) {
+      std::uint64_t mixed = state ^ arena_[i];
+      state = support::splitmix64(mixed);
+    }
+    return state;
+  }
+
+  /// Per-configuration safety on the working configuration (spec bullets 1
+  /// and 3/4 state parts).
+  void check_safety(const std::string& where) {
     std::size_t leaders = 0;
-    for (const auto& p : config.procs) {
+    for (const auto& p : procs_) {
       if (p->is_leader()) ++leaders;
       if (p->halted() && !p->done()) {
         fail("halted before done at " + where);
@@ -150,7 +174,7 @@ class Checker {
           continue;
         }
         bool matched = false;
-        for (const auto& q : config.procs) {
+        for (const auto& q : procs_) {
           if (q->is_leader() && q->id() == *p->leader()) matched = true;
         }
         if (!matched) {
@@ -163,25 +187,33 @@ class Checker {
     }
   }
 
+  /// Spec-variable values of one process, captured before a firing so
+  /// irrevocability can be checked after it.
+  struct SpecBits {
+    bool is_leader;
+    bool done;
+    bool halted;
+  };
+
   /// Transition-local irrevocability (the fired process only; others are
   /// untouched by construction).
-  void check_transition(const Process& before, const Process& after,
+  void check_transition(const SpecBits& before, const Process& after,
                         const std::string& where) {
-    if (before.is_leader() && !after.is_leader()) {
+    if (before.is_leader && !after.is_leader()) {
       fail("isLeader reverted at " + where);
     }
-    if (before.done() && !after.done()) fail("done reverted at " + where);
-    if (before.halted() && !after.halted()) {
+    if (before.done && !after.done()) fail("done reverted at " + where);
+    if (before.halted && !after.halted()) {
       fail("halt reverted at " + where);
     }
   }
 
-  void check_terminal(const Configuration& config) {
+  void check_terminal() {
     ++report_.terminal_configurations;
     const std::string where = "terminal configuration";
     std::size_t leaders = 0;
     ProcessId leader_pid = 0;
-    for (const auto& p : config.procs) {
+    for (const auto& p : procs_) {
       if (p->is_leader()) {
         ++leaders;
         leader_pid = p->pid();
@@ -189,7 +221,7 @@ class Checker {
       if (!p->halted()) fail("process not halted at " + where);
       if (!p->done()) fail("process not done at " + where);
     }
-    for (const auto& link : config.links) {
+    for (const CheckLink& link : links_) {
       if (!link.empty()) fail("message left in flight at " + where);
     }
     if (leaders != 1) {
@@ -197,7 +229,7 @@ class Checker {
       return;
     }
     const auto leader_label = ring_.label(leader_pid);
-    for (const auto& p : config.procs) {
+    for (const auto& p : procs_) {
       if (!p->leader().has_value() || !(*p->leader() == leader_label)) {
         fail("disagreement on the leader label at " + where);
       }
@@ -208,39 +240,62 @@ class Checker {
     }
   }
 
-  void explore(const Configuration& config, std::size_t depth) {
+  /// Invariants at entry: the working configuration holds the node, whose
+  /// snapshot occupies arena_[base..end) and is already in visited_. On
+  /// return the arena is truncated back to its entry size; the working
+  /// configuration is left at an arbitrary descendant (callers rewind
+  /// before using it).
+  void explore(std::size_t depth, std::size_t base) {
     report_.max_depth = std::max(report_.max_depth, depth);
     if (budget_exhausted_) return;
 
-    bool any_enabled = false;
-    for (ProcessId pid = 0; pid < config.size(); ++pid) {
-      if (!config.enabled(pid)) continue;
-      any_enabled = true;
+    std::uint64_t enabled_mask = 0;
+    for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+      if (enabled(pid)) enabled_mask |= std::uint64_t{1} << pid;
+    }
+    if (enabled_mask == 0) {
+      check_terminal();
+      return;
+    }
+
+    for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+      if ((enabled_mask & (std::uint64_t{1} << pid)) == 0) continue;
       if (visited_.size() >= config_.max_configurations) {
         budget_exhausted_ = true;
         return;
       }
-      Configuration next = config.clone();
+      restore_snapshot(base);
+      const Process& fired = *procs_[pid];
+      const SpecBits before{fired.is_leader(), fired.done(), fired.halted()};
       {
-        CheckContext ctx(next, pid);
-        const Message* head = next.head(pid);
-        next.procs[pid]->fire(head, ctx);
+        CheckContext ctx(links_, pid);
+        const Message* head = head_of(pid);
+        procs_[pid]->fire(head, ctx);
       }
       ++report_.transitions;
-      const std::uint64_t h = next.hash();
-      if (!visited_.insert(h).second) continue;  // configuration seen
+      const std::size_t child_base = arena_.size();
+      encode_snapshot();
+      const std::uint64_t h = hash_from(child_base);
+      if (!visited_.insert(h).second) {  // configuration seen
+        arena_.resize(child_base);
+        continue;
+      }
       ++report_.configurations;
-      check_transition(*config.procs[pid], *next.procs[pid],
+      check_transition(before, *procs_[pid],
                        "depth " + std::to_string(depth + 1));
-      check_safety(next, "depth " + std::to_string(depth + 1));
-      explore(next, depth + 1);
+      check_safety("depth " + std::to_string(depth + 1));
+      explore(depth + 1, child_base);
+      arena_.resize(child_base);
     }
-    if (!any_enabled) check_terminal(config);
   }
 
   const ring::LabeledRing& ring_;
   ModelCheckConfig config_;
-  Configuration initial_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<CheckLink> links_;
+  /// LIFO snapshot arena: one snapshot per node on the current DFS path,
+  /// appended on descent and truncated on backtrack.
+  std::vector<std::uint64_t> arena_;
   std::optional<ring::ProcessIndex> expected_leader_;
   std::unordered_set<std::uint64_t> visited_;
   ModelCheckReport report_;

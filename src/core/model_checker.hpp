@@ -22,6 +22,14 @@
 // The state space of a terminating algorithm is finite (each message is
 // received once), so exploration terminates; `max_configurations` bounds
 // the search anyway and the report says whether it was exhaustive.
+//
+// The search works on ONE working configuration (processes built once from
+// the factory, flat message queues) that is rewound between transitions
+// from encode()-word snapshots kept in a LIFO arena — one contiguous
+// std::uint64_t vector that grows on descent and truncates on backtrack.
+// No process is ever cloned and steady-state exploration performs no
+// allocation; algorithms opt into checking by implementing
+// Process::decode (A_k, B_k and the three identified-ring baselines do).
 #pragma once
 
 #include <cstdint>
@@ -55,7 +63,8 @@ struct ModelCheckReport {
 };
 
 /// Explores every asynchronous schedule of `algorithm` on `ring`. The
-/// algorithm's processes must support clone() (A_k and B_k do).
+/// algorithm's processes must support encode()/decode() restoration.
+/// Requires ring.size() <= 64 (the enabled set is a word-wide bitmask).
 [[nodiscard]] ModelCheckReport check_all_schedules(
     const ring::LabeledRing& ring,
     const election::AlgorithmConfig& algorithm,

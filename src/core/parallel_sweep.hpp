@@ -17,12 +17,9 @@
 #include <atomic>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
-
-#include "support/assert.hpp"
 
 namespace hring::core {
 
@@ -34,14 +31,15 @@ namespace hring::core {
 }
 
 /// Evaluates `task(i)` for i in [0, task_count) on `workers` threads and
-/// returns the results indexed by i. `task` must be safe to call
-/// concurrently for distinct i. The first exception thrown by any task is
-/// rethrown on the caller after all workers stop picking up new tasks.
-template <class Result>
-std::vector<Result> parallel_map(std::size_t task_count,
-                                 const std::function<Result(std::size_t)>& task,
+/// returns the results indexed by i. `task` is any callable taking the
+/// task index; it is dispatched statically, so per-cell invocation pays no
+/// std::function indirection on top of the work itself. It must be safe to
+/// call concurrently for distinct i. The first exception thrown by any
+/// task is rethrown on the caller after all workers stop picking up new
+/// tasks.
+template <class Result, class Task>
+std::vector<Result> parallel_map(std::size_t task_count, Task&& task,
                                  std::size_t workers = 0) {
-  HRING_EXPECTS(task != nullptr);
   if (workers == 0) workers = default_worker_count();
   std::vector<Result> results(task_count);
   if (task_count == 0) return results;

@@ -44,7 +44,10 @@ std::uint64_t state_hash(const Process& proc) {
 /// the divergence report directly actionable.
 std::string firing_line(const ActionEvent& event) {
   std::string line = "p" + std::to_string(event.pid);
-  if (!event.action.empty()) line += " " + event.action;
+  if (!event.action.empty()) {
+    line += ' ';
+    line += event.action;
+  }
   if (event.consumed.has_value()) line += " " + to_string(*event.consumed);
   line += " ->";
   for (const Message& msg : event.sent) line += " " + to_string(msg);
@@ -210,14 +213,14 @@ class AuditObserver final : public sim::Observer {
   bool space_reported_ = false;
 };
 
-sim::RunResult run_once(const ring::LabeledRing& ring,
+sim::RunResult run_once(sim::StepEngine& engine, const ring::LabeledRing& ring,
                         const sim::ProcessFactory& factory,
                         const SpecAuditConfig& config,
                         AuditObserver& auditor, sim::SpecMonitor* monitor) {
   const auto scheduler = make_scheduler(config.scheduler, config.seed);
   sim::StepConfig step_config;
   step_config.max_steps = config.max_steps;
-  sim::StepEngine engine(ring, factory, *scheduler, step_config);
+  engine.prepare(ring, factory, *scheduler, step_config);
   engine.add_observer(&auditor);
   if (monitor != nullptr) engine.add_observer(monitor);
   return engine.run();
@@ -270,10 +273,14 @@ SpecAuditReport audit_factory(const ring::LabeledRing& ring,
   HRING_EXPECTS(factory != nullptr);
   const std::size_t b = ring.label_bits();
 
+  // One engine serves both the primary and the replay run: the replay
+  // recycles the primary's links, counters and firing buffers, and doubles
+  // as a test that recycled executions behave identically to fresh ones.
+  sim::StepEngine engine;
   AuditObserver auditor(config, b, space_bound_bits, /*record_only=*/false);
   sim::SpecMonitor monitor;
   const sim::RunResult result =
-      run_once(ring, factory, config, auditor, &monitor);
+      run_once(engine, ring, factory, config, auditor, &monitor);
 
   SpecAuditReport report;
   report.outcome = result.outcome;
@@ -297,7 +304,7 @@ SpecAuditReport audit_factory(const ring::LabeledRing& ring,
 
   if (config.check_replay) {
     AuditObserver replay(config, b, space_bound_bits, /*record_only=*/true);
-    (void)run_once(ring, factory, config, replay, nullptr);
+    (void)run_once(engine, ring, factory, config, replay, nullptr);
     report.replay_ran = true;
     const auto& first = auditor.log();
     const auto& second = replay.log();

@@ -1,5 +1,6 @@
 #include "election/ak.hpp"
 
+#include <map>
 #include <memory>
 
 #include "support/assert.hpp"
@@ -32,18 +33,26 @@ bool AkProcess::enabled(const Message* head) const {
   return head != nullptr;
 }
 
+std::size_t& AkProcess::count_slot(Label::rep_type value) {
+  for (auto& [label, count] : counts_) {
+    if (label == value) return count;
+  }
+  counts_.emplace_back(value, 0);
+  return counts_.back().second;
+}
+
 bool AkProcess::append_and_test(Label x) {
   string_.push_back(x);
-  max_count_ = std::max(max_count_, ++counts_[x.value()]);
+  max_count_ = std::max(max_count_, ++count_slot(x.value()));
   if (max_count_ < 2 * k_ + 1) return false;
-  // srp(string) is the prefix of length = smallest period; the Lyndon
-  // check runs only once the copy threshold holds (rare), keeping the
-  // per-message cost amortized O(1) before the decision point.
+  // srp(string) is the prefix of length = smallest period. It is a Lyndon
+  // word iff it is rotationally aperiodic and is its own least rotation;
+  // its own smallest period comes straight out of the incremental border
+  // array, so the whole test runs on the stored sequence with no copy.
   const std::size_t period = string_.period();
-  const words::LabelSequence prefix(
-      string_.sequence().begin(),
-      string_.sequence().begin() + static_cast<std::ptrdiff_t>(period));
-  return words::is_lyndon(prefix);
+  const std::size_t sub = string_.prefix_period(period);
+  if (sub < period && period % sub == 0) return false;  // symmetric prefix
+  return words::least_rotation_index(string_.sequence().data(), period) == 0;
 }
 
 void AkProcess::fire(const Message* head, Context& ctx) {
@@ -123,6 +132,25 @@ void AkProcess::encode(std::vector<std::uint64_t>& out) const {
   for (const Label l : string_.sequence()) out.push_back(l.value());
   // counts_/max_count_/borders are functions of the string: no need to
   // encode them separately.
+}
+
+bool AkProcess::decode(const std::uint64_t*& it, const std::uint64_t* end) {
+  if (!decode_spec_vars(it, end)) return false;
+  if (end - it < 2) return false;
+  init_ = (*it++ != 0);
+  const std::uint64_t length = *it++;
+  if (static_cast<std::uint64_t>(end - it) < length) return false;
+  // Rebuild the string and its derived accelerators (borders, counts) from
+  // the encoded labels; every buffer keeps its capacity across restores.
+  string_.clear();
+  counts_.clear();
+  max_count_ = 0;
+  for (std::uint64_t i = 0; i < length; ++i) {
+    const Label label(static_cast<Label::rep_type>(*it++));
+    string_.push_back(label);
+    max_count_ = std::max(max_count_, ++count_slot(label.value()));
+  }
+  return true;
 }
 
 sim::ProcessFactory AkProcess::factory(std::size_t k) {

@@ -15,7 +15,8 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/process.hpp"
@@ -46,6 +47,8 @@ class AkProcess final : public Process {
   [[nodiscard]] std::string debug_state() const override;
   [[nodiscard]] std::unique_ptr<Process> clone() const override;
   void encode(std::vector<std::uint64_t>& out) const override;
+  [[nodiscard]] bool decode(const std::uint64_t*& it,
+                            const std::uint64_t* end) override;
 
   /// Current contents of p.string (a prefix of LLabels(p)).
   [[nodiscard]] const words::LabelSequence& grown_string() const {
@@ -60,14 +63,20 @@ class AkProcess final : public Process {
   /// exactly Leader(p.string . x) of the guards of A2/A3.
   bool append_and_test(Label x);
 
+  /// Occurrence count of `value`, creating a zero entry on first sight.
+  [[nodiscard]] std::size_t& count_slot(Label::rep_type value);
+
   std::size_t k_;
   bool init_ = true;
   /// p.string plus its incrementally-maintained border array (the border
   /// array is an accelerator, not algorithm state: srp could be recomputed
   /// from the string at every step with identical behaviour).
   words::IncrementalPeriod string_;
-  /// Occurrence count per label, for the 2k+1 threshold.
-  std::map<Label::rep_type, std::size_t> counts_;
+  /// Occurrence count per label, for the 2k+1 threshold. A flat vector:
+  /// a ring holds at most n distinct labels, so the linear scan beats a
+  /// node-based map on the per-token hot path, and clear() keeps capacity
+  /// across the model checker's decode-based restores.
+  std::vector<std::pair<Label::rep_type, std::size_t>> counts_;
   std::size_t max_count_ = 0;
 };
 

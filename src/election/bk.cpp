@@ -205,6 +205,17 @@ void BkProcess::encode(std::vector<std::uint64_t>& out) const {
   // processes differing only there act identically, so they are omitted.
 }
 
+bool BkProcess::decode(const std::uint64_t*& it, const std::uint64_t* end) {
+  if (!decode_spec_vars(it, end)) return false;
+  if (end - it < 4) return false;
+  state_ = static_cast<BkState>(*it++);
+  guest_ = Label(static_cast<Label::rep_type>(*it++));
+  inner_ = static_cast<std::size_t>(*it++);
+  outer_ = static_cast<std::size_t>(*it++);
+  // phase_/history_ are instrumentation (see encode) and stay untouched.
+  return true;
+}
+
 sim::ProcessFactory BkProcess::factory(std::size_t k, bool record_history) {
   return [k, record_history](ProcessId pid, Label id) {
     return std::make_unique<BkProcess>(pid, id, k, record_history);

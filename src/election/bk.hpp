@@ -65,6 +65,8 @@ class BkProcess final : public Process {
   [[nodiscard]] std::string debug_state() const override;
   [[nodiscard]] std::unique_ptr<Process> clone() const override;
   void encode(std::vector<std::uint64_t>& out) const override;
+  [[nodiscard]] bool decode(const std::uint64_t*& it,
+                            const std::uint64_t* end) override;
 
   [[nodiscard]] BkState state() const { return state_; }
   [[nodiscard]] Label guest() const { return guest_; }

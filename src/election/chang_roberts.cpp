@@ -72,6 +72,23 @@ std::string ChangRobertsProcess::debug_state() const {
   return out;
 }
 
+std::unique_ptr<Process> ChangRobertsProcess::clone() const {
+  return std::unique_ptr<Process>(new ChangRobertsProcess(*this));
+}
+
+void ChangRobertsProcess::encode(std::vector<std::uint64_t>& out) const {
+  Process::encode(out);
+  out.push_back(init_ ? 1 : 0);
+}
+
+bool ChangRobertsProcess::decode(const std::uint64_t*& it,
+                                 const std::uint64_t* end) {
+  if (!decode_spec_vars(it, end)) return false;
+  if (end - it < 1) return false;
+  init_ = (*it++ != 0);
+  return true;
+}
+
 sim::ProcessFactory ChangRobertsProcess::factory() {
   return [](ProcessId pid, Label id) {
     return std::make_unique<ChangRobertsProcess>(pid, id);

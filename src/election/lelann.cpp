@@ -74,6 +74,25 @@ std::string LeLannProcess::debug_state() const {
   return out;
 }
 
+std::unique_ptr<Process> LeLannProcess::clone() const {
+  return std::unique_ptr<Process>(new LeLannProcess(*this));
+}
+
+void LeLannProcess::encode(std::vector<std::uint64_t>& out) const {
+  Process::encode(out);
+  out.push_back(init_ ? 1 : 0);
+  out.push_back(best_.value());
+}
+
+bool LeLannProcess::decode(const std::uint64_t*& it,
+                           const std::uint64_t* end) {
+  if (!decode_spec_vars(it, end)) return false;
+  if (end - it < 2) return false;
+  init_ = (*it++ != 0);
+  best_ = Label(static_cast<Label::rep_type>(*it++));
+  return true;
+}
+
 sim::ProcessFactory LeLannProcess::factory() {
   return [](ProcessId pid, Label id) {
     return std::make_unique<LeLannProcess>(pid, id);

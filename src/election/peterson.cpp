@@ -132,6 +132,30 @@ std::string PetersonProcess::debug_state() const {
   return out;
 }
 
+std::unique_ptr<Process> PetersonProcess::clone() const {
+  return std::unique_ptr<Process>(new PetersonProcess(*this));
+}
+
+void PetersonProcess::encode(std::vector<std::uint64_t>& out) const {
+  Process::encode(out);
+  out.push_back((static_cast<std::uint64_t>(expecting_second_) << 0) |
+                (static_cast<std::uint64_t>(mode_) << 1));
+  out.push_back(tid_.value());
+  out.push_back(ntid_.value());
+}
+
+bool PetersonProcess::decode(const std::uint64_t*& it,
+                             const std::uint64_t* end) {
+  if (!decode_spec_vars(it, end)) return false;
+  if (end - it < 3) return false;
+  const std::uint64_t packed = *it++;
+  expecting_second_ = (packed & 1U) != 0;
+  mode_ = static_cast<Mode>(packed >> 1);
+  tid_ = Label(static_cast<Label::rep_type>(*it++));
+  ntid_ = Label(static_cast<Label::rep_type>(*it++));
+  return true;
+}
+
 sim::ProcessFactory PetersonProcess::factory() {
   return [](ProcessId pid, Label id) {
     return std::make_unique<PetersonProcess>(pid, id);

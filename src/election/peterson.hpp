@@ -30,6 +30,10 @@ class PetersonProcess final : public Process {
   void fire(const Message* head, Context& ctx) override;
   [[nodiscard]] std::size_t space_bits(std::size_t label_bits) const override;
   [[nodiscard]] std::string debug_state() const override;
+  [[nodiscard]] std::unique_ptr<Process> clone() const override;
+  void encode(std::vector<std::uint64_t>& out) const override;
+  [[nodiscard]] bool decode(const std::uint64_t*& it,
+                            const std::uint64_t* end) override;
 
   [[nodiscard]] static sim::ProcessFactory factory();
 

@@ -8,159 +8,69 @@
 namespace hring::sim {
 
 // ---------------------------------------------------------------------------
-// FireContext: the Context handed to a firing action.
+// ExecutionCore
 
-class RingExecution::FireContext final : public Context {
- public:
-  FireContext(RingExecution& exec, ProcessId pid, const Message* head,
-              const std::function<double(ProcessId)>& send_ready)
-      : exec_(exec), pid_(pid), head_(head), send_ready_(send_ready) {}
+ExecutionCore::ExecutionCore(const ring::LabeledRing& ring,
+                             const ProcessFactory& factory) {
+  reset_core(ring, factory);
+}
 
-  Message consume() override {
-    HRING_EXPECTS(head_ != nullptr);   // guard matched a message
-    HRING_EXPECTS(!consumed_);         // each message received exactly once
-    consumed_ = true;
-    // Copy before pop: head_ points into the deque slot pop() destroys.
-    const Message expected = *head_;
-    Link& in = exec_.in_link_of(pid_);
-    const Message msg = in.pop();
-    // Compare raw representations: this engine self-check must not count
-    // toward the algorithm's label-comparison statistic.
-    HRING_ASSERT(msg.kind == expected.kind &&
-                 msg.label.value() == expected.label.value());
-    ++exec_.stats_.messages_received;
-    ++exec_.stats_.received_by_kind[kind_index(msg.kind)];
-    ++exec_.stats_.received_by_process[pid_];
-    consumed_msg_ = msg;
-    return msg;
-  }
-
-  void send(const Message& msg) override {
-    FaultDecision fault;
-    if (exec_.fault_model_ != nullptr) {
-      fault =
-          exec_.fault_model_->on_send(exec_.stats_.messages_sent, pid_, msg);
-      if (fault.faulty()) ++exec_.stats_.faults_injected;
-    }
-    ++exec_.stats_.messages_sent;
-    ++exec_.stats_.sent_by_kind[kind_index(msg.kind)];
-    ++exec_.stats_.sent_by_process[pid_];
-    exec_.stats_.message_bits_sent +=
-        message_bits(msg, exec_.label_bits_);
-    sent_.push_back(msg);
-    if (fault.drop) return;  // the message vanishes on the wire
-
-    Message to_send = msg;
-    if (fault.corrupt_to.has_value()) to_send.label = *fault.corrupt_to;
-    Link& out = exec_.out_link_of(pid_);
-    const double ready =
-        std::max(send_ready_(pid_), out.last_ready_time());
-    out.push(to_send, ready);
-    if (fault.duplicate) {
-      // A second copy; its own delay, clamped to stay FIFO.
-      const double ready2 =
-          std::max(send_ready_(pid_), out.last_ready_time());
-      out.push(to_send, ready2);
-    }
-    if (fault.reorder && out.size() >= 2) {
-      out.swap_last_two_payloads();
-    }
-  }
-
-  void note_action(std::string_view name) override {
-    HRING_EXPECTS(action_.empty());
-    action_ = std::string(name);
-  }
-
-  [[nodiscard]] bool consumed() const { return consumed_; }
-  [[nodiscard]] const std::optional<Message>& consumed_msg() const {
-    return consumed_msg_;
-  }
-  [[nodiscard]] const std::string& action() const { return action_; }
-  [[nodiscard]] std::vector<Message>& sent() { return sent_; }
-
- private:
-  RingExecution& exec_;
-  ProcessId pid_;
-  const Message* head_;
-  const std::function<double(ProcessId)>& send_ready_;
-  bool consumed_ = false;
-  std::optional<Message> consumed_msg_;
-  std::string action_;
-  std::vector<Message> sent_;
-};
-
-// ---------------------------------------------------------------------------
-// RingExecution
-
-RingExecution::RingExecution(const ring::LabeledRing& ring,
-                             const ProcessFactory& factory)
-    : label_bits_(ring.label_bits()) {
+void ExecutionCore::reset_core(const ring::LabeledRing& ring,
+                               const ProcessFactory& factory) {
   HRING_EXPECTS(factory != nullptr);
   const std::size_t n = ring.size();
+  label_bits_ = ring.label_bits();
+  processes_.clear();
   processes_.reserve(n);
   for (ProcessId pid = 0; pid < n; ++pid) {
     processes_.push_back(factory(pid, ring.label(pid)));
     HRING_ENSURES(processes_.back() != nullptr);
     HRING_ENSURES(processes_.back()->pid() == pid);
   }
-  links_.resize(n);
-  stats_.sent_by_process.assign(n, 0);
-  stats_.received_by_process.assign(n, 0);
+  if (links_.size() != n) links_.resize(n);
+  for (Link& link : links_) link.reset();
+  stats_.reset(n);
+  observers_.clear();
+  stop_ctx_ = nullptr;
+  stop_fn_ = nullptr;
+  fault_model_ = nullptr;
+  step_ = 0;
+  time_ = 0.0;
 }
 
-const Process& RingExecution::process(ProcessId pid) const {
+const Process& ExecutionCore::process(ProcessId pid) const {
   HRING_EXPECTS(pid < processes_.size());
   return *processes_[pid];
 }
 
-const Link& RingExecution::out_link(ProcessId pid) const {
+const Link& ExecutionCore::out_link(ProcessId pid) const {
   HRING_EXPECTS(pid < links_.size());
   return links_[pid];
 }
 
-Link& RingExecution::in_link_of(ProcessId pid) {
+Link& ExecutionCore::in_link_of(ProcessId pid) {
   HRING_EXPECTS(pid < links_.size());
-  return links_[(pid + links_.size() - 1) % links_.size()];
+  // pid is already reduced mod n: branch instead of hardware modulo on the
+  // per-firing hot path.
+  return links_[pid == 0 ? links_.size() - 1 : pid - 1];
 }
 
-Link& RingExecution::out_link_of(ProcessId pid) {
+Link& ExecutionCore::out_link_of(ProcessId pid) {
   HRING_EXPECTS(pid < links_.size());
   return links_[pid];
 }
 
-Process& RingExecution::mutable_process(ProcessId pid) {
+Process& ExecutionCore::mutable_process(ProcessId pid) {
   HRING_EXPECTS(pid < processes_.size());
   return *processes_[pid];
 }
 
-const Message* RingExecution::deliverable_head(ProcessId pid,
+const Message* ExecutionCore::deliverable_head(ProcessId pid,
                                                double now) const {
-  const std::size_t n = links_.size();
-  return links_[(pid + n - 1) % n].head(now);
+  return links_[pid == 0 ? links_.size() - 1 : pid - 1].head(now);
 }
 
-bool RingExecution::fire_process(
-    ProcessId pid, const Message* head,
-    const std::function<double(ProcessId from)>& send_ready) {
-  Process& proc = mutable_process(pid);
-  HRING_ASSERT(!proc.halted());
-  FireContext ctx(*this, pid, head, send_ready);
-  proc.fire(head, ctx);
-  ++stats_.actions;
-  update_space(pid);
-  ActionEvent event;
-  event.pid = pid;
-  event.action = ctx.action();
-  event.consumed = ctx.consumed_msg();
-  event.sent = std::move(ctx.sent());
-  event.step = step_;
-  event.time = time_;
-  observers_.action(*this, event);
-  return ctx.consumed();
-}
-
-bool RingExecution::terminal_is_clean() const {
+bool ExecutionCore::terminal_is_clean() const {
   for (const auto& p : processes_) {
     if (!p->halted()) return false;
   }
@@ -170,18 +80,18 @@ bool RingExecution::terminal_is_clean() const {
   return true;
 }
 
-void RingExecution::update_space(ProcessId pid) {
+void ExecutionCore::update_space(ProcessId pid) {
   stats_.peak_space_bits = std::max(
       stats_.peak_space_bits, processes_[pid]->space_bits(label_bits_));
 }
 
-void RingExecution::begin_run() {
+void ExecutionCore::begin_run() {
   Label::reset_comparison_count();
   for (ProcessId pid = 0; pid < processes_.size(); ++pid) update_space(pid);
   observers_.start(*this);
 }
 
-RunResult RingExecution::make_result(Outcome outcome) {
+RunResult ExecutionCore::make_result(Outcome outcome) {
   observers_.finish(*this);
   stats_.label_comparisons = Label::comparison_count();
   for (const Link& l : links_) {
@@ -212,12 +122,22 @@ RunResult RingExecution::make_result(Outcome outcome) {
 StepEngine::StepEngine(const ring::LabeledRing& ring,
                        const ProcessFactory& factory, Scheduler& scheduler,
                        StepConfig config)
-    : RingExecution(ring, factory),
-      scheduler_(scheduler),
+    : ExecutionCore(ring, factory),
+      scheduler_(&scheduler),
       config_(config),
       age_(ring.size(), 0) {}
 
+void StepEngine::prepare(const ring::LabeledRing& ring,
+                         const ProcessFactory& factory, Scheduler& scheduler,
+                         StepConfig config) {
+  reset_core(ring, factory);
+  scheduler_ = &scheduler;
+  config_ = config;
+  age_.assign(ring.size(), 0);
+}
+
 RunResult StepEngine::run() {
+  HRING_EXPECTS(scheduler_ != nullptr);  // bound via ctor or prepare()
   begin_run();
   for (;;) {
     if (step_ >= config_.max_steps) {
@@ -228,7 +148,7 @@ RunResult StepEngine::run() {
                                              : Outcome::kDeadlock);
     }
     observers_.step_end(*this);
-    if (stop_predicate_ && stop_predicate_()) {
+    if (stop_requested()) {
       return make_result(Outcome::kViolation);
     }
   }
@@ -254,7 +174,7 @@ bool StepEngine::step_once() {
   for (const ProcessId pid : enabled_buf_) {
     if (age_[pid] >= config_.fairness_bound) chosen_buf_.push_back(pid);
   }
-  scheduler_.select(enabled_buf_, chosen_buf_);
+  scheduler_->select(enabled_buf_, chosen_buf_);
   std::sort(chosen_buf_.begin(), chosen_buf_.end());
   chosen_buf_.erase(std::unique(chosen_buf_.begin(), chosen_buf_.end()),
                     chosen_buf_.end());

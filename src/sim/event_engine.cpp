@@ -9,9 +9,19 @@ namespace hring::sim {
 EventEngine::EventEngine(const ring::LabeledRing& ring,
                          const ProcessFactory& factory,
                          DelayModel& delay_model, EventConfig config)
-    : RingExecution(ring, factory),
-      delay_model_(delay_model),
+    : ExecutionCore(ring, factory),
+      delay_model_(&delay_model),
       config_(config) {}
+
+void EventEngine::prepare(const ring::LabeledRing& ring,
+                          const ProcessFactory& factory,
+                          DelayModel& delay_model, EventConfig config) {
+  reset_core(ring, factory);
+  delay_model_ = &delay_model;
+  config_ = config;
+  heap_.clear();
+  next_seq_ = 0;
+}
 
 void EventEngine::schedule_wake(double time, ProcessId pid) {
   heap_.push_back(Wake{time, next_seq_++, pid});
@@ -24,11 +34,12 @@ std::size_t EventEngine::drain_process(ProcessId pid, double now) {
   // link's delivery order stays FIFO. A wake is scheduled for the receiver
   // at that time — one wake per message, so none can be missed.
   const auto send_ready = [this, now](ProcessId from) {
-    const double d = delay_model_.delay(from);
+    const double d = delay_model_->delay(from);
     HRING_ASSERT(d > 0.0 && d <= 1.0);
     const double ready =
         std::max(now + d, out_link(from).last_ready_time());
-    schedule_wake(ready, (from + 1) % process_count());
+    const ProcessId receiver = from + 1 == process_count() ? 0 : from + 1;
+    schedule_wake(ready, receiver);
     return ready;
   };
   for (;;) {
@@ -44,6 +55,7 @@ std::size_t EventEngine::drain_process(ProcessId pid, double now) {
 }
 
 RunResult EventEngine::run() {
+  HRING_EXPECTS(delay_model_ != nullptr);  // bound via ctor or prepare()
   begin_run();
   // The paper's unique no-reception action runs first in all executions:
   // every process gets a wake at time 0.
@@ -65,7 +77,7 @@ RunResult EventEngine::run() {
       stats_.steps = step_;
       stats_.time_units = time_;
       observers_.step_end(*this);
-      if (stop_predicate_ && stop_predicate_()) {
+      if (stop_requested()) {
         return make_result(Outcome::kViolation);
       }
     }

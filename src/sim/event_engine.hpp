@@ -21,13 +21,23 @@ struct EventConfig {
   std::uint64_t max_actions = 50'000'000;
 };
 
-class EventEngine final : public RingExecution {
+class EventEngine final : public ExecutionCore {
  public:
   /// `delay_model` is not owned and must outlive the engine.
   EventEngine(const ring::LabeledRing& ring, const ProcessFactory& factory,
               DelayModel& delay_model, EventConfig config = {});
 
-  /// Runs to a terminal configuration (or budget/stop-predicate exit).
+  /// Builds an unbound engine; call prepare() before run(). This is the
+  /// entry point for recycled engines (sweeps, drivers, benchmarks).
+  EventEngine() = default;
+
+  /// Rebinds the engine to a new cell, recycling every buffer including the
+  /// wake heap. Observers, the stop hook and the fault model are detached;
+  /// wire them between prepare() and run().
+  void prepare(const ring::LabeledRing& ring, const ProcessFactory& factory,
+               DelayModel& delay_model, EventConfig config = {});
+
+  /// Runs to a terminal configuration (or budget/stop-hook exit).
   /// stats().time_units is the timestamp of the last fired action.
   RunResult run();
 
@@ -47,7 +57,7 @@ class EventEngine final : public RingExecution {
   /// number of actions fired.
   std::size_t drain_process(ProcessId pid, double now);
 
-  DelayModel& delay_model_;
+  DelayModel* delay_model_ = nullptr;
   EventConfig config_;
   std::vector<Wake> heap_;  // min-heap via std::*_heap with greater
   std::uint64_t next_seq_ = 0;

@@ -6,34 +6,54 @@
 
 namespace hring::sim {
 
+void Link::grow() {
+  const std::size_t old_cap = buf_.size();
+  const std::size_t new_cap = old_cap == 0 ? 8 : old_cap * 2;
+  std::vector<InFlight> next(new_cap);
+  for (std::size_t i = 0; i < count_; ++i) next[i] = buf_[slot(i)];
+  buf_ = std::move(next);
+  head_ = 0;
+}
+
 void Link::push(const Message& msg, double ready_time) {
   HRING_EXPECTS(ready_time >= last_ready_time_);
-  queue_.push_back(InFlight{msg, ready_time});
+  if (count_ == buf_.size()) grow();
+  buf_[slot(count_)] = InFlight{msg, ready_time};
+  ++count_;
   last_ready_time_ = ready_time;
-  high_water_ = std::max(high_water_, queue_.size());
+  high_water_ = std::max(high_water_, count_);
 }
 
 const Message* Link::head(double now) const {
-  if (queue_.empty() || queue_.front().ready_time > now) return nullptr;
-  return &queue_.front().msg;
+  if (count_ == 0 || buf_[head_].ready_time > now) return nullptr;
+  return &buf_[head_].msg;
 }
 
 double Link::head_ready_time() const {
-  HRING_EXPECTS(!queue_.empty());
-  return queue_.front().ready_time;
+  HRING_EXPECTS(count_ > 0);
+  return buf_[head_].ready_time;
 }
 
 void Link::swap_last_two_payloads() {
-  HRING_EXPECTS(queue_.size() >= 2);
+  HRING_EXPECTS(count_ >= 2);
   using std::swap;
-  swap(queue_[queue_.size() - 1].msg, queue_[queue_.size() - 2].msg);
+  swap(buf_[slot(count_ - 1)].msg, buf_[slot(count_ - 2)].msg);
 }
 
 Message Link::pop() {
-  HRING_EXPECTS(!queue_.empty());
-  const Message msg = queue_.front().msg;
-  queue_.pop_front();
+  HRING_EXPECTS(count_ > 0);
+  const Message msg = buf_[head_].msg;
+  head_ = slot(1);
+  --count_;
+  if (count_ == 0) head_ = 0;
   return msg;
+}
+
+void Link::reset() {
+  head_ = 0;
+  count_ = 0;
+  high_water_ = 0;
+  last_ready_time_ = 0.0;
 }
 
 }  // namespace hring::sim

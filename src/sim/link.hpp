@@ -4,11 +4,16 @@
 // the tail, rcv removes the head, nothing is lost or reordered. The
 // discrete-event engine additionally stamps each message with its delivery
 // time; in the step engine every queued message is immediately receivable.
+//
+// Storage is a flat ring buffer over one contiguous allocation. The buffer
+// only ever grows; reset() rewinds the link to empty while keeping the
+// capacity, so a recycled execution (ExecutionCore::reset) replays thousands
+// of runs without touching the allocator on the hot path.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <limits>
+#include <vector>
 
 #include "sim/message.hpp"
 
@@ -37,10 +42,16 @@ class Link {
   /// only by the fault injector's reorder fault. Requires size() >= 2.
   void swap_last_two_payloads();
 
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  /// Rewinds to the empty state — queue, high-water mark and delivery
+  /// clock — without releasing the buffer. ExecutionCore::reset calls this
+  /// so recycled executions start from S(p_i, p_{i+1}) = ∅ for free.
+  void reset();
 
-  /// Largest queue length ever observed (link-state space metric).
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Largest queue length ever observed since the last reset (link-state
+  /// space metric).
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
   /// Delivery time of the most recently pushed message (0 when none yet);
   /// the DES clamps new deliveries to at least this, keeping FIFO order.
@@ -51,7 +62,18 @@ class Link {
     Message msg;
     double ready_time;
   };
-  std::deque<InFlight> queue_;
+
+  /// Buffer slot holding the i-th queued message (0 = head). The capacity
+  /// is a power of two, so the wrap is a mask, not a division.
+  [[nodiscard]] std::size_t slot(std::size_t i) const {
+    return (head_ + i) & (buf_.size() - 1);
+  }
+
+  void grow();
+
+  std::vector<InFlight> buf_;  // capacity; always a power of two (or empty)
+  std::size_t head_ = 0;       // index of the head message when count_ > 0
+  std::size_t count_ = 0;
   std::size_t high_water_ = 0;
   double last_ready_time_ = 0.0;
 };

@@ -1,8 +1,53 @@
 #include "sim/observer.hpp"
 
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
 #include "support/assert.hpp"
 
 namespace hring::sim {
+
+namespace {
+
+std::string_view intern_action_name_slow(std::string_view name) {
+  // unordered_set never moves its elements, so views into pooled strings
+  // stay valid across rehashes. The pool is per-process and only grows;
+  // action vocabularies are a handful of short literals.
+  static std::mutex mutex;
+  static std::unordered_set<std::string>* pool =
+      new std::unordered_set<std::string>();  // leaked: outlives all users
+  const std::lock_guard<std::mutex> lock(mutex);
+  return *pool->emplace(name).first;
+}
+
+}  // namespace
+
+std::string_view intern_action_name(std::string_view name) {
+  if (name.empty()) return {};
+  // Observed runs intern one name per action: a thread-local cache keeps
+  // the global mutex — and, via heterogeneous lookup, any allocation —
+  // off that path after each vocabulary's first use. Keys are copies, so
+  // cache hits don't depend on callers' storage.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using Cache =
+      std::unordered_map<std::string, std::string_view, Hash, std::equal_to<>>;
+  // A value, not a leaked pointer: the cached views point into the global
+  // pool, so destroying the cache at thread exit invalidates nothing.
+  thread_local Cache cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(std::string(name), intern_action_name_slow(name))
+             .first;
+  }
+  return it->second;
+}
 
 void ObserverList::add(Observer* observer) {
   HRING_EXPECTS(observer != nullptr);

@@ -4,6 +4,12 @@
 // through a read-only view of the execution. The invariant monitor, the
 // trace recorder and the B_k phase/state censuses are observers; engines
 // know nothing about what they check.
+//
+// Observation is zero-cost when nobody watches: an engine with no attached
+// observer never materializes an ActionEvent (no action-name lookup, no
+// consumed/sent bookkeeping). When observers are attached, the engine fills
+// one reused scratch event per firing — see the ActionEvent lifetime notes
+// below.
 #pragma once
 
 #include <cstdint>
@@ -30,12 +36,24 @@ class ExecutionView {
   [[nodiscard]] virtual double current_time() const = 0;
 };
 
+/// Interns an action name ("A3", "B6", …) into a process-lifetime pool and
+/// returns a view of the pooled copy. The engines intern every observed
+/// note_action name, so ActionEvent::action stays valid indefinitely even
+/// when the caller passed a temporary. Thread-safe; the pool only grows
+/// (action vocabularies are tiny and fixed).
+[[nodiscard]] std::string_view intern_action_name(std::string_view name);
+
 /// One fired action.
+///
+/// Lifetime: engines pass a scratch event that is overwritten by the next
+/// firing. `action` points into the intern pool and stays valid forever;
+/// `consumed`/`sent` are only valid during on_action — observers that keep
+/// an event must copy it (copying copies the buffers).
 struct ActionEvent {
   ProcessId pid = 0;
   /// Label recorded via Context::note_action ("A3", "B6", …); empty when
-  /// the algorithm did not label the firing.
-  std::string action;
+  /// the algorithm did not label the firing. Interned: valid forever.
+  std::string_view action;
   /// Message consumed by the firing, if any.
   std::optional<Message> consumed;
   /// Messages sent by the firing, in send order (before any link fault).
@@ -62,6 +80,9 @@ class Observer {
 class ObserverList {
  public:
   void add(Observer* observer);
+  /// Detaches every observer (ExecutionCore::reset: recycled executions
+  /// start unobserved).
+  void clear() { observers_.clear(); }
   void start(const ExecutionView& view) const;
   void action(const ExecutionView& view, const ActionEvent& event) const;
   void step_end(const ExecutionView& view) const;

@@ -89,6 +89,19 @@ class Process {
     out.push_back(leader_.has_value() ? leader_->value() : 0);
   }
 
+  /// Inverse of encode(): restores the complete local state from the words
+  /// at `it` (reading at most up to `end`), advancing `it` past the
+  /// consumed words. Returns false when the process does not support
+  /// restoration (the default) or the input is truncated. Together with
+  /// encode() this lets the model checker snapshot and rewind
+  /// configurations without cloning processes (core/model_checker.hpp).
+  [[nodiscard]] virtual bool decode(const std::uint64_t*& it,
+                                    const std::uint64_t* end) {
+    (void)it;
+    (void)end;
+    return false;
+  }
+
   // -- spec variables ------------------------------------------------------
   // Virtual so that scripted test processes can present arbitrary spec
   // trajectories to the monitor/auditor (e.g. an isLeader revert, which no
@@ -103,6 +116,25 @@ class Process {
  protected:
   /// Copying is reserved for clone() implementations.
   Process(const Process&) = default;
+
+  /// Restores the spec variables written by the base encode(); decode()
+  /// implementers call this first, mirroring Process::encode. Returns
+  /// false on truncated input.
+  [[nodiscard]] bool decode_spec_vars(const std::uint64_t*& it,
+                                      const std::uint64_t* end) {
+    if (end - it < 2) return false;
+    const std::uint64_t flags = *it++;
+    is_leader_ = (flags & (1U << 0)) != 0;
+    done_ = (flags & (1U << 1)) != 0;
+    halted_ = (flags & (1U << 2)) != 0;
+    const std::uint64_t leader_rep = *it++;
+    if ((flags & (1U << 3)) != 0) {
+      leader_ = Label(static_cast<Label::rep_type>(leader_rep));
+    } else {
+      leader_.reset();
+    }
+    return true;
+  }
 
   // Mutators for implementations. Deliberately unchecked: the invariant
   // monitor (not the mutator) reports spec violations, so the impossibility

@@ -46,6 +46,26 @@ struct Stats {
   std::uint64_t faults_injected = 0;
 
   [[nodiscard]] std::string summary() const;
+
+  /// Rewinds every counter for an n-process run, reusing the per-process
+  /// vectors' storage (ExecutionCore::reset: recycled executions collect
+  /// statistics without reallocating).
+  void reset(std::size_t n) {
+    steps = 0;
+    actions = 0;
+    time_units = 0.0;
+    messages_sent = 0;
+    messages_received = 0;
+    sent_by_process.assign(n, 0);
+    received_by_process.assign(n, 0);
+    sent_by_kind.fill(0);
+    received_by_kind.fill(0);
+    message_bits_sent = 0;
+    peak_space_bits = 0;
+    peak_link_occupancy = 0;
+    label_comparisons = 0;
+    faults_injected = 0;
+  }
 };
 
 }  // namespace hring::sim

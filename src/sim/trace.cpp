@@ -32,7 +32,7 @@ void TraceRecorder::print(std::ostream& out) const {
 std::vector<std::pair<std::string, std::uint64_t>>
 TraceRecorder::action_census() const {
   std::map<std::string, std::uint64_t> census;
-  for (const Entry& e : entries_) ++census[e.event.action];
+  for (const Entry& e : entries_) ++census[std::string(e.event.action)];
   return {census.begin(), census.end()};
 }
 

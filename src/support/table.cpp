@@ -1,7 +1,9 @@
 #include "support/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 #include "support/assert.hpp"
@@ -90,6 +92,52 @@ void Table::print_csv(std::ostream& out) const {
   };
   emit_row(headers_);
   for (const auto& r : rows_) emit_row(r);
+}
+
+void Table::print_json(std::ostream& out) const {
+  HRING_EXPECTS(rows_.empty() || rows_.back().size() == headers_.size());
+  const auto is_numeric = [](const std::string& cell) {
+    if (cell.empty()) return false;
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    return end == cell.c_str() + cell.size() && std::isfinite(v);
+  };
+  const auto emit_string = [&out](const std::string& s) {
+    out << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out << "\\\""; break;
+        case '\\': out << "\\\\"; break;
+        case '\n': out << "\\n"; break;
+        case '\t': out << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out << buf;
+          } else {
+            out << c;
+          }
+      }
+    }
+    out << '"';
+  };
+  out << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << "  {";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c != 0) out << ", ";
+      emit_string(headers_[c]);
+      out << ": ";
+      if (is_numeric(rows_[r][c])) {
+        out << rows_[r][c];
+      } else {
+        emit_string(rows_[r][c]);
+      }
+    }
+    out << (r + 1 == rows_.size() ? "}\n" : "},\n");
+  }
+  out << "]\n";
 }
 
 }  // namespace hring::support

@@ -36,6 +36,11 @@ class Table {
   /// or newlines are quoted per RFC 4180.
   void print_csv(std::ostream& out) const;
 
+  /// Renders as a JSON array of row objects keyed by header. Cells that
+  /// parse completely as finite numbers are emitted unquoted, so
+  /// downstream tooling gets real numbers without a schema.
+  void print_json(std::ostream& out) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -8,17 +8,25 @@
 namespace hring::words {
 
 std::size_t least_rotation_index(const LabelSequence& seq) {
-  HRING_EXPECTS(!seq.empty());
-  const std::size_t n = seq.size();
+  return least_rotation_index(seq.data(), seq.size());
+}
+
+std::size_t least_rotation_index(const Label* seq, std::size_t n) {
+  HRING_EXPECTS(n > 0);
   // Booth's least-rotation algorithm: candidates i and j race with a shared
   // match length k; a mismatch eliminates the candidate holding the larger
-  // label together with the k positions behind it.
+  // label together with the k positions behind it. Indices i+k and j+k lie
+  // in [0, 2n), so one conditional subtraction replaces the modulo.
   std::size_t i = 0;
   std::size_t j = 1;
   std::size_t k = 0;
   while (i < n && j < n && k < n) {
-    const Label a = seq[(i + k) % n];
-    const Label b = seq[(j + k) % n];
+    std::size_t ia = i + k;
+    if (ia >= n) ia -= n;
+    std::size_t jb = j + k;
+    if (jb >= n) jb -= n;
+    const Label a = seq[ia];
+    const Label b = seq[jb];
     if (a == b) {
       ++k;
       continue;

@@ -20,6 +20,11 @@ namespace hring::words {
 /// starting index. Requires a non-empty sequence.
 [[nodiscard]] std::size_t least_rotation_index(const LabelSequence& seq);
 
+/// Same, on a raw label range — lets callers test a prefix of a larger
+/// sequence without copying it. Requires n > 0.
+[[nodiscard]] std::size_t least_rotation_index(const Label* seq,
+                                               std::size_t n);
+
 /// Reference O(n^2) least rotation index, for cross-checking.
 [[nodiscard]] std::size_t least_rotation_index_naive(const LabelSequence& seq);
 

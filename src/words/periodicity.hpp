@@ -47,11 +47,25 @@ class IncrementalPeriod {
   /// Appends one label, updating the border array incrementally.
   void push_back(Label label);
 
+  /// Rewinds to the empty sequence, keeping both buffers' capacity
+  /// (AkProcess::decode rebuilds strings into a recycled process).
+  void clear() {
+    seq_.clear();
+    border_.clear();
+  }
+
   [[nodiscard]] std::size_t size() const { return seq_.size(); }
   [[nodiscard]] const LabelSequence& sequence() const { return seq_; }
 
   /// Smallest period of the current sequence. Requires size() > 0.
   [[nodiscard]] std::size_t period() const;
+
+  /// Smallest period of the length-`len` prefix — the border array stores
+  /// every prefix border, so this is a lookup, not a recomputation.
+  /// Requires 0 < len <= size().
+  [[nodiscard]] std::size_t prefix_period(std::size_t len) const {
+    return len - border_[len - 1];
+  }
 
   /// Border length of the whole current sequence (0 for empty).
   [[nodiscard]] std::size_t border() const {

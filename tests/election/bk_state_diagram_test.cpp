@@ -56,7 +56,8 @@ class DiagramChecker final : public sim::Observer {
                  const sim::ActionEvent& event) override {
     const auto& proc =
         dynamic_cast<const BkProcess&>(view.process(event.pid));
-    const Edge edge{previous_[event.pid], event.action, proc.state()};
+    const Edge edge{previous_[event.pid], std::string(event.action),
+                    proc.state()};
     if (figure2_edges().count(edge) == 0) {
       bad_edges_.push_back("p" + std::to_string(event.pid) + ": " +
                            bk_state_name(edge.from) + " --" + edge.action +

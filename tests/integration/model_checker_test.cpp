@@ -97,6 +97,37 @@ TEST(ModelCheckerTest, CatchesTheFoolingRingViolation) {
   EXPECT_TRUE(multi) << report.to_string();
 }
 
+TEST(ModelCheckerTest, BaselinesOnDistinctRingsAllSchedules) {
+  // The identified-ring baselines implement decode() too, so the checker
+  // covers them. They elect the maximum label — not necessarily the
+  // paper's true leader — hence check_true_leader = false.
+  const auto ring = ring::LabeledRing::from_values({3, 1, 4, 2});
+  ModelCheckConfig config;
+  config.check_true_leader = false;
+  for (const auto algo : {AlgorithmId::kChangRoberts, AlgorithmId::kLeLann,
+                          AlgorithmId::kPeterson}) {
+    const auto report = check_all_schedules(ring, {algo, 1, false}, config);
+    EXPECT_TRUE(report.complete)
+        << election::algorithm_name(algo) << ": " << report.to_string();
+    EXPECT_TRUE(report.ok)
+        << election::algorithm_name(algo) << ": " << report.to_string();
+    EXPECT_GE(report.terminal_configurations, 1u)
+        << election::algorithm_name(algo);
+  }
+}
+
+TEST(ModelCheckerTest, SnapshotRestorationIsExact) {
+  // Decode-based rewind must reproduce configurations exactly: a second
+  // independent run over the same space visits the same counts.
+  const auto ring = ring::LabeledRing::from_values({1, 2, 2});
+  const auto a = check_all_schedules(ring, {AlgorithmId::kAk, 2, false});
+  const auto b = check_all_schedules(ring, {AlgorithmId::kAk, 2, false});
+  EXPECT_EQ(a.configurations, b.configurations);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.terminal_configurations, b.terminal_configurations);
+  EXPECT_EQ(a.max_depth, b.max_depth);
+}
+
 TEST(ModelCheckerTest, BudgetExhaustionIsReportedHonestly) {
   const auto ring = ring::LabeledRing::from_values({1, 2, 2});
   ModelCheckConfig config;

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
 
 #include "core/experiment.hpp"
 #include "ring/generator.hpp"
@@ -46,6 +50,46 @@ TEST(ParallelMapTest, PropagatesFirstException) {
                    },
                    4),
                std::runtime_error);
+}
+
+TEST(ParallelMapTest, PropagatesExceptionOnSingleWorkerPath) {
+  // The workers == 1 fallback runs inline; its errors must surface the
+  // same way the pool's do.
+  EXPECT_THROW(parallel_map<int>(
+                   5,
+                   [](std::size_t i) {
+                     if (i == 2) throw std::runtime_error("inline boom");
+                     return 0;
+                   },
+                   1),
+               std::runtime_error);
+}
+
+TEST(ParallelMapTest, PropagatesExactlyOneOfManyExceptions) {
+  // Every task throws on every worker; exactly one exception (some task's)
+  // must reach the caller, with its message intact.
+  try {
+    parallel_map<int>(
+        32,
+        [](std::size_t i) -> int {
+          throw std::runtime_error("task " + std::to_string(i));
+        },
+        4);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("task ", 0), 0u) << e.what();
+  }
+}
+
+TEST(ParallelMapTest, MoveOnlyTaskCompiles) {
+  // Task is a deduced template parameter: move-only callables (e.g. ones
+  // capturing a unique_ptr) are accepted, which std::function would reject.
+  auto state = std::make_unique<int>(41);
+  auto task = [state = std::move(state)](std::size_t i) {
+    return *state + static_cast<int>(i);
+  };
+  const auto out = parallel_map<int>(3, std::move(task), 2);
+  EXPECT_EQ(out, (std::vector<int>{41, 42, 43}));
 }
 
 TEST(ParallelMapTest, SingleWorkerFallback) {
@@ -99,6 +143,30 @@ TEST(ParallelMapTest, LabelComparisonCountsAreThreadConfined) {
   const auto serial = parallel_map<std::uint64_t>(12, task, 1);
   const auto parallel = parallel_map<std::uint64_t>(12, task, 4);
   EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelMapTest, RecycledEnginesInvariantUnderWorkerCount) {
+  // run_election recycles a thread_local engine, so within one worker
+  // consecutive cells reuse links/stats buffers. Results must not depend
+  // on which cells shared a worker — i.e. on the worker count at all.
+  const auto task = [](std::size_t i) {
+    support::Rng rng(31 + i);
+    const std::size_t n = 3 + i % 7;
+    const auto ring = ring::distinct_ring(n, rng);
+    ElectionConfig config;
+    config.algorithm = {election::AlgorithmId::kAk, 1, false};
+    config.seed = 90 + i;
+    const auto result = run_election(ring, config);
+    return std::make_tuple(result.stats.messages_sent, result.stats.steps,
+                           result.stats.label_comparisons,
+                           result.leader_pid());
+  };
+  using Cell = decltype(task(0));
+  const auto serial = parallel_map<Cell>(28, task, 1);
+  for (const std::size_t workers : {2u, 5u}) {
+    EXPECT_EQ(parallel_map<Cell>(28, task, workers), serial)
+        << workers << " workers";
+  }
 }
 
 TEST(ParallelMapTest, DefaultWorkerCountPositive) {

@@ -25,7 +25,7 @@ class ActionLog final : public Observer {
     log_.assign(view.process_count(), {});
   }
   void on_action(const ExecutionView&, const ActionEvent& event) override {
-    std::string entry = event.action;
+    std::string entry(event.action);
     if (event.consumed.has_value()) {
       entry += "/" + to_string(*event.consumed);
     }

@@ -78,7 +78,8 @@ TEST(StepEngineTest, StopPredicateShortCircuits) {
   SynchronousScheduler sched;
   StepEngine engine(small_ring(), ForeverForwardProcess::make(), sched);
   int steps_seen = 0;
-  engine.set_stop_predicate([&steps_seen] { return ++steps_seen >= 3; });
+  auto stop = [&steps_seen] { return ++steps_seen >= 3; };
+  engine.set_stop_predicate(stop);
   const RunResult result = engine.run();
   EXPECT_EQ(result.outcome, Outcome::kViolation);
   EXPECT_EQ(result.stats.steps, 3u);

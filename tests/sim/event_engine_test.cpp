@@ -95,7 +95,8 @@ TEST(EventEngineTest, StopPredicateHonored) {
   ConstantDelay delay(1.0);
   EventEngine engine(small_ring(), ForeverForwardProcess::make(), delay);
   int called = 0;
-  engine.set_stop_predicate([&called] { return ++called >= 5; });
+  auto stop = [&called] { return ++called >= 5; };
+  engine.set_stop_predicate(stop);
   const RunResult result = engine.run();
   EXPECT_EQ(result.outcome, Outcome::kViolation);
 }

@@ -167,7 +167,8 @@ TEST(SpecMonitorTest, StopPredicateIntegration) {
   StepEngine engine(small_ring(), EveryoneLeadsProcess::make(), sched);
   SpecMonitor monitor;
   engine.add_observer(&monitor);
-  engine.set_stop_predicate([&monitor] { return monitor.violated(); });
+  auto stop = [&monitor] { return monitor.violated(); };
+  engine.set_stop_predicate(stop);
   const RunResult result = engine.run();
   EXPECT_EQ(result.outcome, Outcome::kViolation);
   // Stopped at the first violating step, not at termination.
