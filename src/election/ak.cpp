@@ -92,8 +92,10 @@ void AkProcess::fire(const Message* head, Context& ctx) {
   if (!is_leader()) {
     // A4: learn the leader's label from the grown string and halt.
     ctx.note_action("A4");
-    const words::LabelSequence prefix = words::srp(string_.sequence());
-    set_leader_label(words::lyndon_rotation_first(prefix));
+    // LW(srp(p.string))[1]: srp(string) is the length-period() prefix, so
+    // the rotation scan runs on a view of the grown string — no copy.
+    set_leader_label(words::lyndon_rotation_first(string_.sequence().data(),
+                                                  string_.period()));
     set_done();
     ctx.send(Message::finish());
     halt_self();
@@ -137,7 +139,9 @@ void AkProcess::encode(std::vector<std::uint64_t>& out) const {
 bool AkProcess::decode(const std::uint64_t*& it, const std::uint64_t* end) {
   if (!decode_spec_vars(it, end)) return false;
   if (end - it < 2) return false;
-  init_ = (*it++ != 0);
+  const std::uint64_t init_word = *it++;
+  if (init_word > 1) return false;  // encoded as exactly 0 or 1
+  init_ = (init_word != 0);
   const std::uint64_t length = *it++;
   if (static_cast<std::uint64_t>(end - it) < length) return false;
   // Rebuild the string and its derived accelerators (borders, counts) from

@@ -208,10 +208,16 @@ void BkProcess::encode(std::vector<std::uint64_t>& out) const {
 bool BkProcess::decode(const std::uint64_t*& it, const std::uint64_t* end) {
   if (!decode_spec_vars(it, end)) return false;
   if (end - it < 4) return false;
-  state_ = static_cast<BkState>(*it++);
+  const std::uint64_t state_word = *it++;
+  if (state_word > static_cast<std::uint64_t>(BkState::kHalt)) return false;
+  state_ = static_cast<BkState>(state_word);
   guest_ = Label(static_cast<Label::rep_type>(*it++));
-  inner_ = static_cast<std::size_t>(*it++);
-  outer_ = static_cast<std::size_t>(*it++);
+  const std::uint64_t inner_word = *it++;
+  const std::uint64_t outer_word = *it++;
+  // Both counters count up to k and never past it (B3/B5 guards).
+  if (inner_word > k_ || outer_word > k_) return false;
+  inner_ = static_cast<std::size_t>(inner_word);
+  outer_ = static_cast<std::size_t>(outer_word);
   // phase_/history_ are instrumentation (see encode) and stay untouched.
   return true;
 }

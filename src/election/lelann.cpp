@@ -88,7 +88,9 @@ bool LeLannProcess::decode(const std::uint64_t*& it,
                            const std::uint64_t* end) {
   if (!decode_spec_vars(it, end)) return false;
   if (end - it < 2) return false;
-  init_ = (*it++ != 0);
+  const std::uint64_t init_word = *it++;
+  if (init_word > 1) return false;  // encoded as exactly 0 or 1
+  init_ = (init_word != 0);
   best_ = Label(static_cast<Label::rep_type>(*it++));
   return true;
 }

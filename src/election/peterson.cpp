@@ -149,6 +149,9 @@ bool PetersonProcess::decode(const std::uint64_t*& it,
   if (!decode_spec_vars(it, end)) return false;
   if (end - it < 3) return false;
   const std::uint64_t packed = *it++;
+  // Bit 0 is the expecting flag, bits 1+ the 5-valued mode; any word
+  // outside that range is not a PetersonProcess snapshot.
+  if ((packed >> 1) > static_cast<std::uint64_t>(Mode::kHalted)) return false;
   expecting_second_ = (packed & 1U) != 0;
   mode_ = static_cast<Mode>(packed >> 1);
   tid_ = Label(static_cast<Label::rep_type>(*it++));

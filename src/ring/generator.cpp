@@ -22,10 +22,10 @@ LabelSequence bounded_multiset(std::size_t n, std::size_t k,
   // draw even in the saturated case.
   std::size_t drawn = 0;
   while (drawn < n) {
-    const std::size_t v = static_cast<std::size_t>(rng.below(alphabet));
+    const std::size_t v = rng.below(alphabet);
     if (remaining[v] == 0) continue;
     --remaining[v];
-    seq.emplace_back(static_cast<Label::rep_type>(v + 1));
+    seq.emplace_back(v + 1);
     ++drawn;
   }
   support::shuffle(seq, rng);
@@ -39,7 +39,7 @@ LabeledRing distinct_ring(std::size_t n, Rng& rng) {
   LabelSequence seq;
   seq.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    seq.emplace_back(static_cast<Label::rep_type>(i + 1));
+    seq.emplace_back(i + 1);
   }
   support::shuffle(seq, rng);
   return LabeledRing(std::move(seq));
@@ -50,7 +50,7 @@ LabeledRing sequential_ring(std::size_t n) {
   LabelSequence seq;
   seq.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    seq.emplace_back(static_cast<Label::rep_type>(i + 1));
+    seq.emplace_back(i + 1);
   }
   return LabeledRing(std::move(seq));
 }
@@ -61,7 +61,7 @@ LabeledRing uniform_random_ring(std::size_t n, std::size_t alphabet,
   LabelSequence seq;
   seq.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    seq.emplace_back(static_cast<Label::rep_type>(rng.below(alphabet) + 1));
+    seq.emplace_back(rng.below(alphabet) + 1);
   }
   return LabeledRing(std::move(seq));
 }
@@ -97,10 +97,10 @@ std::optional<LabeledRing> saturated_multiplicity_ring(std::size_t n,
     std::vector<std::size_t> remaining(alphabet, k);
     std::size_t drawn = 0;
     while (drawn < rest) {
-      const std::size_t v = static_cast<std::size_t>(rng.below(alphabet));
+      const std::size_t v = rng.below(alphabet);
       if (remaining[v] == 0) continue;
       --remaining[v];
-      seq.emplace_back(static_cast<Label::rep_type>(v + 2));
+      seq.emplace_back(v + 2);
       ++drawn;
     }
     support::shuffle(seq, rng);
@@ -125,10 +125,10 @@ LabeledRing unique_label_ring(std::size_t n, std::size_t k, Rng& rng) {
   std::vector<std::size_t> remaining(alphabet, k);
   std::size_t drawn = 0;
   while (drawn < rest) {
-    const std::size_t v = static_cast<std::size_t>(rng.below(alphabet));
+    const std::size_t v = rng.below(alphabet);
     if (remaining[v] == 0) continue;
     --remaining[v];
-    seq.emplace_back(static_cast<Label::rep_type>(v + 2));
+    seq.emplace_back(v + 2);
     ++drawn;
   }
   support::shuffle(seq, rng);
@@ -164,7 +164,7 @@ std::vector<LabeledRing> enumerate_rings(std::size_t n, std::size_t alphabet,
   std::vector<std::size_t> digits(n, 0);
   for (;;) {
     for (std::size_t i = 0; i < n; ++i) {
-      current[i] = Label(static_cast<Label::rep_type>(digits[i] + 1));
+      current[i] = Label(digits[i] + 1);
     }
     const bool symmetric = words::has_rotational_symmetry(current);
     if (!(asymmetric_only && symmetric)) {

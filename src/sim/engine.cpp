@@ -65,6 +65,7 @@ Process& ExecutionCore::mutable_process(ProcessId pid) {
   return *processes_[pid];
 }
 
+// hring-lint: hot-path
 const Message* ExecutionCore::deliverable_head(ProcessId pid,
                                                double now) const {
   return links_[pid == 0 ? links_.size() - 1 : pid - 1].head(now);
@@ -154,6 +155,7 @@ RunResult StepEngine::run() {
   }
 }
 
+// hring-lint: hot-path
 bool StepEngine::step_once() {
   // Enabled set in the current configuration γ. In the step engine every
   // queued message is deliverable (infinite `now`).

@@ -165,6 +165,7 @@ class ExecutionCore::FireContext final : public Context {
         send_ready_(send_ready),
         observed_(observed) {}
 
+  // hring-lint: hot-path
   Message consume() override {
     HRING_EXPECTS(head_ != nullptr);   // guard matched a message
     HRING_EXPECTS(!consumed_);         // each message received exactly once
@@ -184,6 +185,7 @@ class ExecutionCore::FireContext final : public Context {
     return msg;
   }
 
+  // hring-lint: hot-path
   void send(const Message& msg) override {
     FaultDecision fault;
     if (exec_.fault_model_ != nullptr) {
@@ -214,6 +216,7 @@ class ExecutionCore::FireContext final : public Context {
     }
   }
 
+  // hring-lint: hot-path
   void note_action(std::string_view name) override {
     HRING_EXPECTS(!noted_);  // at most one label per firing
     noted_ = true;
@@ -232,6 +235,7 @@ class ExecutionCore::FireContext final : public Context {
   bool noted_ = false;
 };
 
+// hring-lint: hot-path
 template <class SendReady>
 bool ExecutionCore::fire_process(ProcessId pid, const Message* head,
                                  const SendReady& send_ready) {

@@ -28,6 +28,7 @@ void EventEngine::schedule_wake(double time, ProcessId pid) {
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
 }
 
+// hring-lint: hot-path
 std::size_t EventEngine::drain_process(ProcessId pid, double now) {
   std::size_t fired = 0;
   // Delivery time of a message sent at `now`: now + delay, clamped so the

@@ -124,6 +124,9 @@ class Process {
                                       const std::uint64_t* end) {
     if (end - it < 2) return false;
     const std::uint64_t flags = *it++;
+    // Exactly four flag bits exist; anything else marks a stream that was
+    // truncated, reordered, or produced by a mismatched encode().
+    if ((flags & ~std::uint64_t{0xF}) != 0) return false;
     is_leader_ = (flags & (1U << 0)) != 0;
     done_ = (flags & (1U << 1)) != 0;
     halted_ = (flags & (1U << 2)) != 0;

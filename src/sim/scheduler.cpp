@@ -24,7 +24,7 @@ void RoundRobinScheduler::select(const std::vector<ProcessId>& enabled,
 void RandomSingleScheduler::select(const std::vector<ProcessId>& enabled,
                                    std::vector<ProcessId>& out) {
   HRING_EXPECTS(!enabled.empty());
-  out.push_back(enabled[static_cast<std::size_t>(rng_.below(enabled.size()))]);
+  out.push_back(enabled[rng_.below(enabled.size())]);
 }
 
 void RandomSubsetScheduler::select(const std::vector<ProcessId>& enabled,
@@ -36,7 +36,7 @@ void RandomSubsetScheduler::select(const std::vector<ProcessId>& enabled,
   }
   if (out.size() == before) {
     out.push_back(
-        enabled[static_cast<std::size_t>(rng_.below(enabled.size()))]);
+        enabled[rng_.below(enabled.size())]);
   }
 }
 

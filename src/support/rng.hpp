@@ -93,7 +93,7 @@ template <class Container>
 void shuffle(Container& items, Rng& rng) {
   const std::size_t n = items.size();
   for (std::size_t i = n; i > 1; --i) {
-    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    const std::size_t j = rng.below(i);
     using std::swap;
     swap(items[i - 1], items[j]);
   }

@@ -109,8 +109,12 @@ LabelSequence lyndon_rotation(const LabelSequence& seq) {
 }
 
 Label lyndon_rotation_first(const LabelSequence& seq) {
-  HRING_EXPECTS(!seq.empty());
-  return seq[least_rotation_index(seq)];
+  return lyndon_rotation_first(seq.data(), seq.size());
+}
+
+Label lyndon_rotation_first(const Label* seq, std::size_t n) {
+  HRING_EXPECTS(n > 0);
+  return seq[least_rotation_index(seq, n)];
 }
 
 std::vector<std::size_t> duval_factorization(const LabelSequence& seq) {

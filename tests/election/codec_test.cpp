@@ -3,6 +3,12 @@
 // configuration through these: decode(encode(p)) must reproduce p's
 // complete local state (witnessed by re-encoding) at every point of an
 // execution, not just at the start.
+//
+// The mutation tests below attack the codec the other way: a decoder fed
+// a corrupted stream — truncated, or with its words rotated out of their
+// field slots — must either refuse it (return false) or demonstrably
+// re-encode something else. Silent acceptance of a corrupt snapshot is
+// the one failure mode the round-trip test can never see.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -11,6 +17,7 @@
 #include "core/election_driver.hpp"
 #include "election/algorithm.hpp"
 #include "ring/generator.hpp"
+#include "ring/labeled_ring.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
 #include "support/rng.hpp"
@@ -90,6 +97,108 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CodecTest,
                            return std::string(
                                algorithm_name(param_info.param));
                          });
+
+// --- mutation tests -------------------------------------------------------
+
+/// Collects (pid, id, encoded words) snapshots across an execution, so the
+/// mutations below attack real mid-run states, not just the initial one.
+class SnapshotCollector : public sim::Observer {
+ public:
+  struct Snapshot {
+    sim::ProcessId pid = 0;
+    sim::Label id;
+    std::vector<std::uint64_t> words;
+  };
+
+  explicit SnapshotCollector(std::size_t every) : every_(every) {}
+
+  void on_step_end(const sim::ExecutionView& view) override {
+    if (++steps_ % every_ != 0) return;
+    for (sim::ProcessId pid = 0; pid < view.process_count(); ++pid) {
+      Snapshot snap;
+      snap.pid = pid;
+      snap.id = view.process(pid).id();
+      view.process(pid).encode(snap.words);
+      snapshots_.push_back(std::move(snap));
+    }
+  }
+
+  [[nodiscard]] const std::vector<Snapshot>& snapshots() const {
+    return snapshots_;
+  }
+
+ private:
+  std::size_t every_;
+  std::uint64_t steps_ = 0;
+  std::vector<Snapshot> snapshots_;
+};
+
+/// All labels >= 16: a label word rotated into the 4-bit flags slot then
+/// carries out-of-range bits the hardened decoders must refuse. Distinct
+/// labels keep every algorithm in its class (distinct => asymmetric, and
+/// K_1 is a subset of K_k).
+ring::LabeledRing high_label_ring() {
+  constexpr std::uint64_t kLabels[] = {17, 29, 23, 41, 31, 53, 47, 61};
+  words::LabelSequence seq;
+  for (const std::uint64_t v : kLabels) seq.emplace_back(v);
+  return ring::LabeledRing(std::move(seq));
+}
+
+std::vector<SnapshotCollector::Snapshot> run_and_snapshot(
+    const AlgorithmConfig& algorithm) {
+  sim::SynchronousScheduler scheduler;
+  sim::StepEngine engine(high_label_ring(), make_factory(algorithm),
+                         scheduler);
+  SnapshotCollector collector(/*every=*/2);
+  engine.add_observer(&collector);
+  const auto result = engine.run();
+  EXPECT_EQ(result.outcome, sim::Outcome::kTerminated);
+  EXPECT_FALSE(collector.snapshots().empty());
+  return collector.snapshots();
+}
+
+TEST_P(CodecTest, RejectsEveryTruncatedStream) {
+  const AlgorithmConfig algorithm{GetParam(), 2, false};
+  const auto factory = make_factory(algorithm);
+  for (const auto& snap : run_and_snapshot(algorithm)) {
+    // Every strict prefix must be refused: each decoder knows exactly how
+    // many words its fields need and bounds-checks before reading.
+    for (std::size_t len = 0; len < snap.words.size(); ++len) {
+      auto fresh = factory(snap.pid, snap.id);
+      const std::uint64_t* it = snap.words.data();
+      const std::uint64_t* const end = snap.words.data() + len;
+      EXPECT_FALSE(fresh->decode(it, end))
+          << "accepted a " << len << "-word prefix of a "
+          << snap.words.size() << "-word snapshot, pid " << snap.pid;
+    }
+  }
+}
+
+TEST_P(CodecTest, DetectsRotatedFieldStreams) {
+  const AlgorithmConfig algorithm{GetParam(), 2, false};
+  const auto factory = make_factory(algorithm);
+  for (const auto& snap : run_and_snapshot(algorithm)) {
+    // Rotate the stream one word left: every field lands in the slot of
+    // its neighbour. The decoder must refuse (range validation), leave
+    // words unread, or provably restore something else (re-encode
+    // mismatch). What it may never do is silently accept the rotation as
+    // the original state.
+    std::vector<std::uint64_t> mutated(snap.words.begin() + 1,
+                                       snap.words.end());
+    mutated.push_back(snap.words.front());
+    if (mutated == snap.words) continue;  // identity mutation: vacuous
+
+    auto fresh = factory(snap.pid, snap.id);
+    const std::uint64_t* it = mutated.data();
+    const std::uint64_t* const end = mutated.data() + mutated.size();
+    if (!fresh->decode(it, end) || it != end) continue;  // refused: good
+    std::vector<std::uint64_t> reencoded;
+    fresh->encode(reencoded);
+    EXPECT_NE(reencoded, mutated)
+        << "a rotated stream was accepted as a canonical snapshot, pid "
+        << snap.pid;
+  }
+}
 
 }  // namespace
 }  // namespace hring::election

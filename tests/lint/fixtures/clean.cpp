@@ -1,0 +1,85 @@
+// hring-lint fixture: a well-behaved process — zero diagnostics expected
+// with every check enabled.
+//
+// This file is linted, never compiled. It deliberately exercises the
+// patterns the checks must NOT trip over: exclusive consume() paths
+// (if/return chains and a switch whose default is an always-on assert),
+// const guards over member state, a decode() that restores the spec
+// variables first, loops that do not consume, and an explicitly
+// suppressed allocation.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class WellBehaved : public Process {
+ public:
+  // Pure guard: reads members, calls a const helper, owns a local.
+  bool enabled(const Message* head) const override {
+    if (halted_copy_) return false;
+    const bool ready = phase_ > 0;
+    return ready && matches(head);
+  }
+
+  // One consume() on every path: the early returns and the switch's
+  // case-returns are mutually exclusive, and the default case never
+  // completes (HRING_ASSERT is always on and [[noreturn]] on failure).
+  void fire(const Message* head, Context& ctx) override {
+    if (head == nullptr) {
+      // Cold branch: allocation acknowledged and suppressed on purpose.
+      trace_ = new std::uint64_t[8];  // hring-nolint(hot-path-alloc)
+      ctx.send(Message{});
+      return;
+    }
+    const Message msg = ctx.consume();
+    switch (msg.kind) {
+      case MsgKind::kToken:
+        ctx.note_action("relay");
+        ctx.send(msg);
+        return;
+      case MsgKind::kFinish:
+        ctx.note_action("halt");
+        halt_self();
+        return;
+      default:
+        HRING_ASSERT(false);
+    }
+  }
+
+  void encode(std::vector<std::uint64_t>& out) const override {
+    Process::encode(out);
+    out.push_back(phase_);
+    for (const std::uint64_t word : history_) out.push_back(word);
+  }
+
+  bool decode(const std::uint64_t*& it, const std::uint64_t* end) override {
+    if (!decode_spec_vars(it, end)) return false;
+    if (it == end) return false;
+    phase_ = *it++;
+    // A rebuild loop after the spec restore is fine; the recycled buffer
+    // grows once and keeps its capacity across rewinds.
+    history_.clear();
+    while (it != end) history_.push_back(*it++);
+    return true;
+  }
+
+ private:
+  [[nodiscard]] bool matches(const Message* head) const {
+    return head != nullptr && head->kind == MsgKind::kToken;
+  }
+
+  std::uint64_t phase_ = 0;
+  bool halted_copy_ = false;
+  std::vector<std::uint64_t> history_;
+  std::uint64_t* trace_ = nullptr;
+};
+
+// Annotated hot helper that stays allocation-free.
+// hring-lint: hot-path
+inline std::uint64_t fold(const std::vector<std::uint64_t>& words) {
+  std::uint64_t acc = 0;
+  for (const std::uint64_t w : words) acc ^= w;
+  return acc;
+}
+
+}  // namespace fixture

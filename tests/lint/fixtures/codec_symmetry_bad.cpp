@@ -1,0 +1,72 @@
+// hring-lint fixture: seeded codec-symmetry violations.
+//
+// This file is linted, never compiled. Each hring-expect comment marks one
+// diagnostic the check must emit at exactly that line; the paired
+// `.disabled` ctest run (--checks=none) proves the expectations go unmet
+// without the check (see tests/lint/CMakeLists.txt).
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+// Overrides encode() but not decode(): the model checker's rewind would
+// restore stale derived-class state. Diagnosed at the class line.
+// hring-expect@+1: codec-symmetry
+class EncodeOnly : public Process {
+ public:
+  void encode(std::vector<std::uint64_t>& out) const override {
+    Process::encode(out);
+    out.push_back(round_);
+  }
+
+ private:
+  std::uint64_t round_ = 0;
+};
+
+// Overrides decode() but not encode(): snapshots taken before a rewind
+// never capture this class's fields in the first place.
+// hring-expect@+1: codec-symmetry
+class DecodeOnly : public Process {
+ public:
+  bool decode(const std::uint64_t*& it, const std::uint64_t* end) override {
+    return decode_spec_vars(it, end);
+  }
+};
+
+// decode() never calls decode_spec_vars(): the base spec variables
+// (isLeader, done, leader label) silently keep their pre-rewind values.
+class SkipsSpecVars : public Process {
+ public:
+  void encode(std::vector<std::uint64_t>& out) const override {
+    Process::encode(out);
+    out.push_back(counter_);
+  }
+  // hring-expect@+1: codec-symmetry
+  bool decode(const std::uint64_t*& it, const std::uint64_t* end) override {
+    if (it == end) return false;
+    counter_ = *it++;
+    return true;
+  }
+
+ private:
+  std::uint64_t counter_ = 0;
+};
+
+// decode() touches its own field before the spec variables are restored,
+// so the field is read/written against a half-rewound snapshot cursor.
+class ReadsBeforeRestore : public Process {
+ public:
+  void encode(std::vector<std::uint64_t>& out) const override {
+    Process::encode(out);
+    out.push_back(limit_);
+  }
+  bool decode(const std::uint64_t*& it, const std::uint64_t* end) override {
+    limit_ = *it++;  // hring-expect: codec-symmetry
+    return decode_spec_vars(it, end);
+  }
+
+ private:
+  std::uint64_t limit_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,53 @@
+// hring-lint fixture: seeded consume-discipline violations.
+//
+// This file is linted, never compiled. An action (§II) receives the head
+// message exactly once: two consume() calls on one control-flow path pop
+// a message the guard never matched, and a consume() inside a loop drains
+// the link wholesale. Both diagnostics anchor at the fire() line.
+#include <cstdint>
+
+namespace fixture {
+
+// The second consume() is reachable after the first: on a kToken head the
+// action pops two messages in one firing.
+class DoubleConsume : public Process {
+ public:
+  // hring-expect@+1: consume-discipline
+  void fire(const Message* head, Context& ctx) override {
+    const Message first = ctx.consume();
+    if (first.kind == MsgKind::kToken) {
+      ctx.consume();
+      return;
+    }
+    ctx.send(first);
+  }
+};
+
+// Consuming on both sides of an if/else is fine; consuming again after
+// the branches rejoin is not.
+class RejoinConsume : public Process {
+ public:
+  // hring-expect@+1: consume-discipline
+  void fire(const Message* head, Context& ctx) override {
+    if (head->kind == MsgKind::kToken) {
+      ctx.consume();
+    } else {
+      ctx.consume();
+    }
+    ctx.consume();
+  }
+};
+
+// A drain loop: consume() under a loop has no static bound at all.
+class DrainLoop : public Process {
+ public:
+  // hring-expect@+1: consume-discipline
+  void fire(const Message* head, Context& ctx) override {
+    while (head != nullptr) {
+      ctx.consume();
+      break;
+    }
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,68 @@
+// hring-lint fixture: seeded guard-purity violations.
+//
+// This file is linted, never compiled. Guards (§II) are side-effect-free
+// predicates over the local state and the head message; each class below
+// breaks that contract one way.
+#include <cstdint>
+
+namespace fixture {
+
+// enabled() must be declared const: a non-const guard is free to mutate
+// state even if its body happens not to today.
+class NonConstGuard : public Process {
+ public:
+  // hring-expect@+1: guard-purity
+  bool enabled(const Message* head) override { return head != nullptr; }
+};
+
+// A guard that counts its own evaluations: mutation through `mutable`
+// makes the daemon's activation choice depend on evaluation order.
+class CountingGuard : public Process {
+ public:
+  bool enabled(const Message* head) const override {
+    ++evals_;  // hring-expect: guard-purity
+    return head != nullptr;
+  }
+
+ private:
+  mutable std::uint64_t evals_ = 0;
+};
+
+// A guard that performs the protocol's side effects: sending from
+// enabled() breaks action atomicity — the paired fire() may never run.
+class SendingGuard : public Process {
+ public:
+  bool enabled(const Message* head) const override {
+    if (head == nullptr) return false;
+    out_->send(*head);  // hring-expect: guard-purity
+    return true;
+  }
+
+ private:
+  Context* out_ = nullptr;
+};
+
+// A guard that resolves the election as a "side effect" of being asked.
+class ElectingGuard : public Process {
+ public:
+  bool enabled(const Message* head) const override {
+    if (head == nullptr) {
+      declare_leader();  // hring-expect: guard-purity
+    }
+    return true;
+  }
+};
+
+// A guard that launders its mutation through a non-const helper.
+class DelegatingGuard : public Process {
+ public:
+  bool enabled(const Message* head) const override {
+    return head != nullptr && advance();  // hring-expect: guard-purity
+  }
+  bool advance() { return phase_++ < 3; }
+
+ private:
+  int phase_ = 0;
+};
+
+}  // namespace fixture

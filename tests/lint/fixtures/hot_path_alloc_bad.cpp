@@ -1,0 +1,42 @@
+// hring-lint fixture: seeded hot-path-alloc violations.
+//
+// This file is linted, never compiled. Guards and actions run once per
+// delivered message across millions of model-checker steps; anything that
+// touches the allocator there dominates the profile (and breaks the
+// engines' recycled-buffer discipline). The check also covers functions
+// opted in with a `// hring-lint: hot-path` annotation.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+class AllocatingAction : public Process {
+ public:
+  // A guard that builds a string per evaluation.
+  bool enabled(const Message* head) const override {
+    return head != nullptr && !std::to_string(seq_).empty();  // hring-expect: hot-path-alloc
+  }
+
+  void fire(const Message* head, Context& ctx) override {
+    std::vector<std::uint64_t> scratch;  // hring-expect: hot-path-alloc
+    scratch.push_back(head->label.value());
+    auto boxed = std::make_unique<Message>(*head);  // hring-expect: hot-path-alloc
+    ctx.send(*boxed);
+    log_ = new char[16];  // hring-expect: hot-path-alloc
+  }
+
+ private:
+  std::uint64_t seq_ = 0;
+  char* log_ = nullptr;
+};
+
+// Free functions on the firing path opt in via the annotation.
+// hring-lint: hot-path
+inline std::uint64_t checksum(const Message& msg) {
+  const std::string tag("m");  // hring-expect: hot-path-alloc
+  return tag.size() + msg.label.value();
+}
+
+}  // namespace fixture

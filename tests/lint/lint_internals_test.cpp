@@ -1,0 +1,182 @@
+// Unit tests for the hring-lint analysis core (tools/hring_lint): the
+// tokenizer, the structural model, and — most load-bearing — the
+// consume-path analysis that backs the consume-discipline check. The
+// fixture suite in tests/lint/fixtures exercises the checks end to end;
+// these tests pin the primitives they are built on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tools/hring_lint/checks.hpp"
+#include "tools/hring_lint/lexer.hpp"
+#include "tools/hring_lint/source_model.hpp"
+
+namespace hring::lint {
+namespace {
+
+SourceFile lex_snippet(std::string content) {
+  SourceFile f;
+  f.path = "snippet.cpp";
+  f.content = std::move(content);
+  lex(f);
+  return f;
+}
+
+bool has_token(const SourceFile& f, std::string_view text) {
+  for (const Token& t : f.tokens) {
+    if (t.is(text)) return true;
+  }
+  return false;
+}
+
+TEST(Lexer, LongestMatchOperators) {
+  const SourceFile f = lex_snippet("a <<= b; p->q; A::B; x >= y;");
+  EXPECT_TRUE(has_token(f, "<<="));
+  EXPECT_TRUE(has_token(f, "->"));
+  EXPECT_TRUE(has_token(f, "::"));
+  EXPECT_TRUE(has_token(f, ">="));
+  EXPECT_FALSE(has_token(f, "<<"));  // consumed by <<=
+}
+
+TEST(Lexer, RawStringIsOneToken) {
+  const SourceFile f = lex_snippet("auto s = R\"(quote \" paren ))\"; f();");
+  // The quote and parens inside the raw string must not produce tokens.
+  EXPECT_TRUE(has_token(f, "f"));
+  std::size_t strings = 0;
+  for (const Token& t : f.tokens) strings += t.kind == TokKind::kString;
+  EXPECT_EQ(strings, 1u);
+}
+
+TEST(Lexer, CommentsAreCollectedWithLines) {
+  const SourceFile f =
+      lex_snippet("int a;  // first\n/* second\n   spans */ int b;\n");
+  ASSERT_EQ(f.comments.size(), 2u);
+  EXPECT_EQ(f.comments[0].line, 1u);
+  EXPECT_EQ(f.comments[1].line, 2u);
+  EXPECT_TRUE(has_token(f, "b"));
+}
+
+TEST(Lexer, PreprocessorLinesAreSkipped) {
+  const SourceFile f =
+      lex_snippet("#define FOO(x) \\\n  bar(x)\nint y;\n");
+  EXPECT_FALSE(has_token(f, "bar"));
+  EXPECT_TRUE(has_token(f, "y"));
+}
+
+TEST(SourceModel, TracksBasesConstnessAndHotPathAnnotations) {
+  SourceFile f = lex_snippet(
+      "class P : public Process {\n"
+      " public:\n"
+      "  bool enabled(const Message* m) const override { return m != 0; }\n"
+      "  void fire(const Message* m, Context& c) override { c.consume(); }\n"
+      "};\n"
+      "// hring-lint: hot-path\n"
+      "inline int fold(int a, int b) { return a ^ b; }\n");
+  Model model;
+  parse_file(f, model);
+  ASSERT_TRUE(model.classes.count("P") == 1);
+  EXPECT_TRUE(model.derives_from("P"));
+  const ClassInfo& cls = model.classes.at("P");
+  const auto guards = model.methods_named(cls, "enabled");
+  ASSERT_EQ(guards.size(), 1u);
+  EXPECT_TRUE(guards[0]->is_const);
+  EXPECT_TRUE(guards[0]->is_override);
+  const ClassInfo& free_fns = model.classes.at("");
+  bool fold_hot = false;
+  for (const MethodInfo& m : free_fns.methods) {
+    if (m.name == "fold") fold_hot = m.hot_path;
+  }
+  EXPECT_TRUE(fold_hot);
+}
+
+// --- consume-path analysis ------------------------------------------------
+
+ConsumeSummary analyze(const std::string& body) {
+  SourceFile f = lex_snippet(body);
+  // The token stream ends with kEof; the body range excludes it.
+  return analyze_consume_paths(f, 0, f.tokens.size() - 1);
+}
+
+TEST(ConsumePaths, SequenceAccumulates) {
+  const ConsumeSummary s = analyze("ctx.consume(); ctx.consume();");
+  EXPECT_EQ(s.max_on_path, 2u);
+  EXPECT_FALSE(s.in_loop);
+}
+
+TEST(ConsumePaths, EarlyReturnSeparatesPaths) {
+  const ConsumeSummary s = analyze(
+      "if (a) { ctx.consume(); return; }\n"
+      "ctx.consume();");
+  EXPECT_EQ(s.max_on_path, 1u);
+}
+
+TEST(ConsumePaths, RejoinAfterBranchesAddsUp) {
+  const ConsumeSummary s = analyze(
+      "if (a) { ctx.consume(); } else { ctx.consume(); }\n"
+      "ctx.consume();");
+  EXPECT_EQ(s.max_on_path, 2u);
+}
+
+TEST(ConsumePaths, SwitchSegmentsAreAlternatives) {
+  const ConsumeSummary s = analyze(
+      "switch (k) {\n"
+      "  case kA: ctx.consume(); break;\n"
+      "  case kB: ctx.consume(); break;\n"
+      "}\n");
+  EXPECT_EQ(s.max_on_path, 1u);
+}
+
+TEST(ConsumePaths, FallOutOfSwitchRejoins) {
+  const ConsumeSummary s = analyze(
+      "switch (k) { case kA: ctx.consume(); break; default: break; }\n"
+      "ctx.consume();");
+  EXPECT_EQ(s.max_on_path, 2u);
+}
+
+TEST(ConsumePaths, TerminatingDefaultClosesTheSwitch) {
+  // Peterson's relay switch: every case returns and the default is an
+  // always-on assert, so nothing flows out of the switch — the trailing
+  // consume() belongs to a disjoint path.
+  const ConsumeSummary s = analyze(
+      "if (relay) {\n"
+      "  ctx.consume();\n"
+      "  switch (k) {\n"
+      "    case kA: ctx.send(m); return;\n"
+      "    case kB: halt_self(); return;\n"
+      "    default: HRING_ASSERT(false);\n"
+      "  }\n"
+      "}\n"
+      "ctx.consume();");
+  EXPECT_EQ(s.max_on_path, 1u);
+}
+
+TEST(ConsumePaths, AssertFalseTerminatesAPath) {
+  // Everything after the always-on assert is unreachable, and the aborted
+  // path itself never completes a firing — no consume is charged at all.
+  const ConsumeSummary s = analyze(
+      "ctx.consume(); HRING_ASSERT(false); ctx.consume();");
+  EXPECT_EQ(s.max_on_path, 0u);
+}
+
+TEST(ConsumePaths, ConditionalAssertDoesNotTerminate) {
+  const ConsumeSummary s = analyze(
+      "ctx.consume(); HRING_EXPECTS(x == y); ctx.consume();");
+  EXPECT_EQ(s.max_on_path, 2u);
+}
+
+TEST(ConsumePaths, LoopConsumptionIsFlagged) {
+  const ConsumeSummary s = analyze("while (x) { ctx.consume(); }");
+  EXPECT_TRUE(s.in_loop);
+  EXPECT_EQ(s.max_on_path, 1u);
+}
+
+TEST(ConsumePaths, LoopWithoutConsumeIsClean) {
+  const ConsumeSummary s = analyze(
+      "for (int i = 0; i < n; ++i) { relay(i); }\n"
+      "ctx.consume();");
+  EXPECT_FALSE(s.in_loop);
+  EXPECT_EQ(s.max_on_path, 1u);
+}
+
+}  // namespace
+}  // namespace hring::lint

@@ -64,7 +64,7 @@ TEST(RngTest, BelowIsApproximatelyUniform) {
   constexpr int kDraws = 80000;
   std::vector<int> counts(kBuckets, 0);
   for (int i = 0; i < kDraws; ++i) {
-    ++counts[static_cast<std::size_t>(rng.below(kBuckets))];
+    ++counts[rng.below(kBuckets)];
   }
   const int expected = kDraws / static_cast<int>(kBuckets);
   for (const int c : counts) {

@@ -1,0 +1,190 @@
+#include "compdb.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace hring::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Minimal JSON scanner: just enough to pull the string fields out of the
+/// array-of-objects shape compile_commands.json is specified to have.
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool done() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void expect(char c, bool& ok) {
+    if (peek() == c) {
+      ++pos_;
+    } else {
+      ok = false;
+    }
+  }
+  [[nodiscard]] bool try_consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Parses a JSON string starting at the opening quote.
+  [[nodiscard]] std::string parse_string(bool& ok) {
+    std::string out;
+    expect('"', ok);
+    while (ok && pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u':
+            pos_ = std::min(pos_ + 4, text_.size());  // keep scanning
+            out.push_back('?');
+            break;
+          default: out.push_back(esc); break;
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    ok = false;
+    return out;
+  }
+
+  /// Skips any JSON value (used for fields we do not care about).
+  void skip_value(bool& ok) {
+    const char c = peek();
+    if (c == '"') {
+      (void)parse_string(ok);
+      return;
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos_;
+      std::size_t depth = 1;
+      while (pos_ < text_.size() && depth > 0) {
+        const char d = text_[pos_];
+        if (d == '"') {
+          (void)parse_string(ok);
+          continue;
+        }
+        if (d == c) ++depth;
+        if (d == close) --depth;
+        ++pos_;
+      }
+      return;
+    }
+    // Literal: number / true / false / null.
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool compdb_sources(const std::string& build_dir, const std::string& filter,
+                    std::vector<std::string>& out, std::string& error) {
+  const fs::path db_path = fs::path(build_dir) / "compile_commands.json";
+  std::ifstream in(db_path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + db_path.string() +
+            " (configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JsonScanner scan(text);
+  bool ok = true;
+  scan.expect('[', ok);
+  std::set<std::string> files;
+  while (ok && !scan.done() && !scan.try_consume(']')) {
+    scan.expect('{', ok);
+    std::string directory;
+    std::string file;
+    while (ok && !scan.try_consume('}')) {
+      const std::string key = scan.parse_string(ok);
+      scan.expect(':', ok);
+      if (key == "directory") {
+        directory = scan.parse_string(ok);
+      } else if (key == "file") {
+        file = scan.parse_string(ok);
+      } else {
+        scan.skip_value(ok);
+      }
+      (void)scan.try_consume(',');
+    }
+    (void)scan.try_consume(',');
+    if (!ok) break;
+    if (file.empty()) continue;
+    fs::path p(file);
+    if (p.is_relative() && !directory.empty()) p = fs::path(directory) / p;
+    files.insert(p.lexically_normal().string());
+  }
+  if (!ok) {
+    error = "malformed " + db_path.string();
+    return false;
+  }
+
+  // Add the sibling headers of every named source directory, so class
+  // definitions in .hpp files enter the model.
+  std::set<std::string> dirs;
+  for (const std::string& f : files) {
+    dirs.insert(fs::path(f).parent_path().string());
+  }
+  for (const std::string& d : dirs) {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(d, ec)) {
+      if (!entry.is_regular_file(ec)) continue;
+      const fs::path& p = entry.path();
+      if (p.extension() == ".hpp" || p.extension() == ".h") {
+        files.insert(p.lexically_normal().string());
+      }
+    }
+  }
+
+  for (const std::string& f : files) {
+    if (filter.empty() || f.find(filter) != std::string::npos) {
+      out.push_back(f);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return true;
+}
+
+}  // namespace hring::lint

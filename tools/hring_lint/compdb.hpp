@@ -1,0 +1,25 @@
+// compile_commands.json reader for hring-lint.
+//
+// The tool is driven by the compilation database CMake exports with
+// CMAKE_EXPORT_COMPILE_COMMANDS (see the top-level CMakeLists.txt): the
+// database names every translation unit of the build, and the linter adds
+// the sibling headers of each named source so class definitions living in
+// .hpp files join the cross-file model. Only the "directory" and "file"
+// string fields are consumed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hring::lint {
+
+/// Absolute paths of the translation units in `<build_dir>/
+/// compile_commands.json` plus their sibling `*.hpp` headers, filtered to
+/// paths containing `filter` (empty = all). Returns false when the
+/// database is missing or unparsable.
+[[nodiscard]] bool compdb_sources(const std::string& build_dir,
+                                  const std::string& filter,
+                                  std::vector<std::string>& out,
+                                  std::string& error);
+
+}  // namespace hring::lint

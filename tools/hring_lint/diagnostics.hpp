@@ -1,0 +1,44 @@
+// Diagnostics for hring-lint: clang-style rendering
+// (`file:line:col: warning: message [hring-<check>]`), stable ordering,
+// and per-check counts for the CI summary.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hring::lint {
+
+struct Diagnostic {
+  std::string file;
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+  std::string check;  // "codec-symmetry", "guard-purity", ...
+  std::string message;
+
+  [[nodiscard]] std::string render() const {
+    return file + ":" + std::to_string(line) + ":" + std::to_string(col) +
+           ": warning: " + message + " [hring-" + check + "]";
+  }
+};
+
+inline void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.check < b.check;
+            });
+}
+
+inline std::map<std::string, std::size_t> count_by_check(
+    const std::vector<Diagnostic>& diags) {
+  std::map<std::string, std::size_t> counts;
+  for (const Diagnostic& d : diags) ++counts[d.check];
+  return counts;
+}
+
+}  // namespace hring::lint

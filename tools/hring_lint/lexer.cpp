@@ -1,0 +1,240 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace hring::lint {
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-character operators, longest first, so "->*" wins over "->".
+constexpr std::array<std::string_view, 22> kMultiOps = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=", "%=", ".*"};
+constexpr std::array<std::string_view, 3> kMultiOps2 = {"&=", "|=", "^="};
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::uint32_t line() const { return line_; }
+  [[nodiscard]] std::uint32_t col() const {
+    return static_cast<std::uint32_t>(pos_ - line_start_ + 1);
+  }
+  [[nodiscard]] std::string_view slice(std::size_t from) const {
+    return text_.substr(from, pos_ - from);
+  }
+
+  void advance() {
+    if (done()) return;
+    if (text_[pos_] == '\n') {
+      ++line_;
+      line_start_ = pos_ + 1;
+    }
+    ++pos_;
+  }
+  void advance_by(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) advance();
+  }
+
+  [[nodiscard]] bool starts_with(std::string_view s) const {
+    return text_.compare(pos_, s.size(), s) == 0;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::size_t line_start_ = 0;
+};
+
+/// Consumes a quoted literal starting at the opening quote.
+void skip_quoted(Cursor& c, char quote) {
+  c.advance();  // opening quote
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\\') {
+      c.advance_by(2);
+      continue;
+    }
+    c.advance();
+    if (ch == quote) return;
+  }
+}
+
+/// Consumes a raw string literal starting at the 'R' of R"delim(...)delim".
+void skip_raw_string(Cursor& c) {
+  c.advance();  // R
+  c.advance();  // "
+  std::string delim;
+  while (!c.done() && c.peek() != '(') {
+    delim.push_back(c.peek());
+    c.advance();
+  }
+  c.advance();  // (
+  const std::string close = ")" + delim + "\"";
+  while (!c.done()) {
+    if (c.starts_with(close)) {
+      c.advance_by(close.size());
+      return;
+    }
+    c.advance();
+  }
+}
+
+}  // namespace
+
+void lex(SourceFile& file) {
+  file.tokens.clear();
+  file.comments.clear();
+  Cursor c(file.content);
+  bool line_has_token = false;  // anything but whitespace seen on this line
+
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\n') {
+      line_has_token = false;
+      c.advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch)) != 0) {
+      c.advance();
+      continue;
+    }
+    // Preprocessor directive: '#' as the first non-whitespace of a line;
+    // consume the logical line including backslash continuations.
+    if (ch == '#' && !line_has_token) {
+      while (!c.done()) {
+        if (c.peek() == '\\' && c.peek(1) == '\n') {
+          c.advance_by(2);
+          continue;
+        }
+        if (c.peek() == '\n') break;
+        c.advance();
+      }
+      continue;
+    }
+    line_has_token = true;
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      const std::size_t start = c.pos();
+      const std::uint32_t line = c.line();
+      while (!c.done() && c.peek() != '\n') c.advance();
+      file.comments.push_back({c.slice(start), line});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      const std::size_t start = c.pos();
+      const std::uint32_t line = c.line();
+      c.advance_by(2);
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) c.advance();
+      c.advance_by(2);
+      file.comments.push_back({c.slice(start), line});
+      continue;
+    }
+    // Literals.
+    if (ch == 'R' && c.peek(1) == '"') {
+      const std::size_t start = c.pos();
+      const std::uint32_t line = c.line();
+      const std::uint32_t col = c.col();
+      skip_raw_string(c);
+      file.tokens.push_back({TokKind::kString, c.slice(start), line, col});
+      continue;
+    }
+    if (ch == '"' || ch == '\'') {
+      const std::size_t start = c.pos();
+      const std::uint32_t line = c.line();
+      const std::uint32_t col = c.col();
+      skip_quoted(c, ch);
+      file.tokens.push_back(
+          {ch == '"' ? TokKind::kString : TokKind::kChar, c.slice(start),
+           line, col});
+      continue;
+    }
+    // Identifiers and keywords (keywords are just identifiers here).
+    if (ident_start(ch)) {
+      const std::size_t start = c.pos();
+      const std::uint32_t line = c.line();
+      const std::uint32_t col = c.col();
+      while (!c.done() && ident_cont(c.peek())) c.advance();
+      file.tokens.push_back({TokKind::kIdent, c.slice(start), line, col});
+      continue;
+    }
+    // Numbers (pp-number: digits, x/X, ', ., exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(ch)) != 0 ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))) !=
+                          0)) {
+      const std::size_t start = c.pos();
+      const std::uint32_t line = c.line();
+      const std::uint32_t col = c.col();
+      while (!c.done()) {
+        const char d = c.peek();
+        if (ident_cont(d) || d == '\'' || d == '.') {
+          c.advance();
+          continue;
+        }
+        if ((d == '+' || d == '-') && !c.done()) {
+          const char prev = file.content[c.pos() - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            c.advance();
+            continue;
+          }
+        }
+        break;
+      }
+      file.tokens.push_back({TokKind::kNumber, c.slice(start), line, col});
+      continue;
+    }
+    // Punctuation: longest-match against the operator tables.
+    {
+      const std::size_t start = c.pos();
+      const std::uint32_t line = c.line();
+      const std::uint32_t col = c.col();
+      std::size_t len = 1;
+      for (const std::string_view op : kMultiOps) {
+        if (c.starts_with(op)) {
+          len = op.size();
+          break;
+        }
+      }
+      if (len == 1) {
+        for (const std::string_view op : kMultiOps2) {
+          if (c.starts_with(op)) {
+            len = op.size();
+            break;
+          }
+        }
+      }
+      c.advance_by(len);
+      file.tokens.push_back({TokKind::kPunct, c.slice(start), line, col});
+    }
+  }
+  file.tokens.push_back({TokKind::kEof, {}, c.line(), 1});
+}
+
+bool lex_file(const std::string& path, SourceFile& file) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  file.path = path;
+  file.content = buf.str();
+  lex(file);
+  return true;
+}
+
+}  // namespace hring::lint

@@ -1,0 +1,60 @@
+// Token stream for hring-lint (tools/hring_lint/README.md).
+//
+// A single-pass C++ tokenizer: identifiers, numbers, string/char literals
+// (including raw strings), and punctuation with longest-match operators.
+// Comments are not tokens — they are collected separately per line so the
+// expectation (`hring-expect`), suppression (`hring-nolint`) and hot-path
+// annotation comments stay addressable by the checks without cluttering
+// the structural parse. Preprocessor directives are skipped wholesale
+// (including line continuations): the linter analyses the file as written,
+// not the preprocessed translation unit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hring::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  /// View into SourceFile::content — valid while the file is alive.
+  std::string_view text;
+  std::uint32_t line = 0;  // 1-based
+  std::uint32_t col = 0;   // 1-based
+
+  [[nodiscard]] bool is(std::string_view t) const { return text == t; }
+  [[nodiscard]] bool is_ident() const { return kind == TokKind::kIdent; }
+};
+
+/// One comment (`//...` or `/*...*/`), with the line it starts on.
+struct Comment {
+  std::string_view text;  // includes the comment markers
+  std::uint32_t line = 0;
+};
+
+/// A lexed file. `content` owns the bytes every token/comment views into.
+struct SourceFile {
+  std::string path;
+  std::string content;
+  std::vector<Token> tokens;    // terminated by a kEof token
+  std::vector<Comment> comments;
+};
+
+/// Lexes `content` in place (tokens/comments view into file.content).
+void lex(SourceFile& file);
+
+/// Reads `path` from disk and lexes it. Returns false when unreadable.
+[[nodiscard]] bool lex_file(const std::string& path, SourceFile& file);
+
+}  // namespace hring::lint

@@ -1,0 +1,73 @@
+// Structural model extracted from the token streams (tools/hring_lint).
+//
+// The linter does not preprocess or type-check: it recovers exactly the
+// structure the protocol checks need — class definitions with their base
+// specifiers, member-function declarations/definitions (in-class and
+// out-of-line `Cls::name(...)`), constness/override-ness, and body token
+// ranges — and resolves "derives from hring::sim::Process" transitively
+// across every file of the invocation. Base classes are matched by the
+// terminal identifier of the base-specifier (`sim::Process` → `Process`),
+// which is unambiguous in this codebase and in the fixture corpus; the
+// trade-off is documented in docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace hring::lint {
+
+struct MethodInfo {
+  std::string name;
+  bool is_const = false;
+  bool is_override = false;
+  bool has_body = false;
+  /// Token index range of the body in `file->tokens`, excluding the
+  /// enclosing braces: [body_begin, body_end).
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  std::uint32_t line = 0;  // line of the method name token
+  const SourceFile* file = nullptr;
+  /// Marked hot by a `// hring-lint: hot-path` comment directly above or
+  /// on the signature line.
+  bool hot_path = false;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::vector<std::string> bases;  // terminal identifier of each base
+  std::vector<MethodInfo> methods;
+  std::uint32_t line = 0;
+  const SourceFile* file = nullptr;
+};
+
+struct Model {
+  /// Classes by name, merged across files (out-of-line definitions attach
+  /// to the class entry; a redefinition in another file merges methods).
+  std::map<std::string, ClassInfo> classes;
+
+  /// True iff `name` transitively derives from `root` (default: the
+  /// guarded-action base class). Unknown bases terminate the walk.
+  [[nodiscard]] bool derives_from(const std::string& name,
+                                  const std::string& root = "Process") const;
+
+  /// All methods of `cls` with the given name (declarations and
+  /// definitions; out-of-line definitions included).
+  [[nodiscard]] std::vector<const MethodInfo*> methods_named(
+      const ClassInfo& cls, const std::string& name) const;
+
+  /// True iff the class declares a non-const member function `name`
+  /// (used by the guard-purity check for same-class calls).
+  [[nodiscard]] bool has_nonconst_method(const ClassInfo& cls,
+                                         const std::string& name) const;
+};
+
+/// Parses one lexed file into the model (call once per file; the file must
+/// outlive the model).
+void parse_file(const SourceFile& file, Model& model);
+
+}  // namespace hring::lint

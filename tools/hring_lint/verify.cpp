@@ -1,0 +1,82 @@
+#include "verify.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hring::lint {
+
+void collect_expectations(const SourceFile& file,
+                          std::vector<Expectation>& out) {
+  constexpr std::string_view kMarker = "hring-expect";
+  for (const Comment& c : file.comments) {
+    std::size_t at = c.text.find(kMarker);
+    while (at != std::string_view::npos) {
+      std::size_t i = at + kMarker.size();
+      std::int64_t offset = 0;
+      if (i < c.text.size() && c.text[i] == '@') {
+        ++i;
+        const bool neg = i < c.text.size() && c.text[i] == '-';
+        if (i < c.text.size() && (c.text[i] == '+' || c.text[i] == '-')) ++i;
+        std::int64_t value = 0;
+        while (i < c.text.size() &&
+               std::isdigit(static_cast<unsigned char>(c.text[i])) != 0) {
+          value = value * 10 + (c.text[i] - '0');
+          ++i;
+        }
+        offset = neg ? -value : value;
+      }
+      if (i < c.text.size() && c.text[i] == ':') {
+        ++i;
+        while (i < c.text.size() &&
+               std::isspace(static_cast<unsigned char>(c.text[i])) != 0) {
+          ++i;
+        }
+        std::size_t end = i;
+        while (end < c.text.size() &&
+               (std::isalnum(static_cast<unsigned char>(c.text[end])) != 0 ||
+                c.text[end] == '-')) {
+          ++end;
+        }
+        if (end > i) {
+          Expectation e;
+          e.file = file.path;
+          e.line = static_cast<std::uint32_t>(
+              static_cast<std::int64_t>(c.line) + offset);
+          e.check = std::string(c.text.substr(i, end - i));
+          out.push_back(e);
+        }
+      }
+      at = c.text.find(kMarker, at + kMarker.size());
+    }
+  }
+}
+
+bool verify_expectations(const std::vector<Diagnostic>& diags,
+                         const std::vector<Expectation>& expectations,
+                         std::vector<std::string>& failures) {
+  std::vector<bool> diag_matched(diags.size(), false);
+  for (const Expectation& e : expectations) {
+    bool matched = false;
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+      if (diag_matched[i]) continue;
+      if (diags[i].file == e.file && diags[i].line == e.line &&
+          diags[i].check == e.check) {
+        diag_matched[i] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      failures.push_back("expected diagnostic not emitted: " + e.file + ":" +
+                         std::to_string(e.line) + " [hring-" + e.check + "]");
+    }
+  }
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    if (!diag_matched[i]) {
+      failures.push_back("unexpected diagnostic: " + diags[i].render());
+    }
+  }
+  return failures.empty();
+}
+
+}  // namespace hring::lint

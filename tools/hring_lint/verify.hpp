@@ -1,0 +1,39 @@
+// Expectation matching for the fixture self-tests (`--verify`), modeled on
+// clang's -verify mode. A fixture marks each seeded violation with
+//
+//   bad();  // hring-expect: consume-discipline
+//   // hring-expect@+2: guard-purity   (diagnostic two lines below)
+//   // hring-expect@-1: codec-symmetry (diagnostic one line above)
+//
+// Verification passes iff the emitted diagnostics and the expectations
+// match exactly (same file, line, and check). A diagnostic without an
+// expectation, or an expectation without a diagnostic — e.g. because the
+// expected check was disabled via --checks — fails the run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diagnostics.hpp"
+#include "lexer.hpp"
+
+namespace hring::lint {
+
+struct Expectation {
+  std::string file;
+  std::uint32_t line = 0;
+  std::string check;
+};
+
+/// Collects hring-expect comments from `file`.
+void collect_expectations(const SourceFile& file,
+                          std::vector<Expectation>& out);
+
+/// Matches diagnostics against expectations; appends human-readable
+/// mismatch reports to `failures`. Returns true when everything matched.
+[[nodiscard]] bool verify_expectations(
+    const std::vector<Diagnostic>& diags,
+    const std::vector<Expectation>& expectations,
+    std::vector<std::string>& failures);
+
+}  // namespace hring::lint
