@@ -18,6 +18,7 @@
 #include "ring/generator.hpp"
 #include "sim/trace.hpp"
 #include "support/table.hpp"
+#include "telemetry/telemetry_observer.hpp"
 
 int main(int argc, char** argv) {
   using namespace hring;
@@ -32,12 +33,17 @@ int main(int argc, char** argv) {
                         "space bound"});
   support::Rng rng(0xE4);
 
+  // One observer across every row: its registry is cumulative, so the
+  // --json output carries the grid-wide latency/space/phase histograms.
+  telemetry::TelemetryObserver telemetry_observer;
+
   const auto run_row = [&](const char* profile,
                            const ring::LabeledRing& ring, std::size_t k) {
     const std::size_t n = ring.size();
     sim::ConstantDelay delay(1.0);
     sim::EventEngine engine(ring,
                             election::BkProcess::factory(k, true), delay);
+    engine.add_observer(&telemetry_observer);
     const auto result = engine.run();
     const auto verification = core::verify_election(
         ring, result, /*check_true_leader=*/true);
@@ -80,7 +86,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  benchutil::emit(table, format);
+  benchutil::emit(table, format, telemetry_observer.metrics());
 
   if (format != benchutil::Format::kJson) {
     // Action census on the Figure 1 ring: Table 2 is the whole program.

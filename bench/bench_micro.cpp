@@ -11,6 +11,7 @@
 #include "core/election_driver.hpp"
 #include "core/model_checker.hpp"
 #include "ring/generator.hpp"
+#include "telemetry/telemetry_observer.hpp"
 #include "words/lyndon.hpp"
 #include "words/periodicity.hpp"
 #include "words/zfunction.hpp"
@@ -173,6 +174,45 @@ void BM_EventEngineAk(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventEngineAk)->Range(8, 128);
+
+// Telemetry cost: the same elections with a TelemetryObserver attached.
+// Compare against BM_StepEngineAk / BM_EventEngineAk — the detached
+// numbers must stay flat (no observer, no ActionEvent materialization)
+// while attached throughput must stay within 2x.
+void BM_StepEngineAkTelemetry(benchmark::State& state) {
+  support::Rng rng(4);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto ring = ring::random_asymmetric_ring(n, 2, n, rng);
+  telemetry::TelemetryObserver telemetry_observer;
+  for (auto _ : state) {
+    core::ElectionConfig config;
+    config.algorithm = {election::AlgorithmId::kAk, 2, false};
+    config.monitor_spec = false;
+    config.extra_observers.push_back(&telemetry_observer);
+    const auto result = core::run_election(*ring, config);
+    benchmark::DoNotOptimize(result.stats.messages_sent);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StepEngineAkTelemetry)->Range(8, 128);
+
+void BM_EventEngineAkTelemetry(benchmark::State& state) {
+  support::Rng rng(4);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto ring = ring::random_asymmetric_ring(n, 2, n, rng);
+  telemetry::TelemetryObserver telemetry_observer;
+  for (auto _ : state) {
+    core::ElectionConfig config;
+    config.algorithm = {election::AlgorithmId::kAk, 2, false};
+    config.engine = core::EngineKind::kEvent;
+    config.monitor_spec = false;
+    config.extra_observers.push_back(&telemetry_observer);
+    const auto result = core::run_election(*ring, config);
+    benchmark::DoNotOptimize(result.stats.messages_sent);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventEngineAkTelemetry)->Range(8, 128);
 
 void BM_SpecMonitorOverheadAk(benchmark::State& state) {
   support::Rng rng(4);

@@ -10,6 +10,8 @@
 #include <string>
 
 #include "support/table.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace hring::benchutil {
 
@@ -53,6 +55,24 @@ inline void emit(const support::Table& table, Format format) {
     case Format::kJson: table.print_json(std::cout); break;
     case Format::kTable: table.print(std::cout); break;
   }
+}
+
+/// Table plus a telemetry summary. In JSON mode the output becomes
+/// `{"rows": [...], "telemetry": {...}}` so machine consumers get the
+/// metrics registry alongside the rows; the other formats print the
+/// table as usual and ignore the registry (the timeline data has no
+/// tabular rendering).
+inline void emit(const support::Table& table, Format format,
+                 const telemetry::MetricsRegistry& registry) {
+  if (format != Format::kJson) {
+    emit(table, format);
+    return;
+  }
+  std::cout << "{\"rows\": ";
+  table.print_json(std::cout);
+  std::cout << ", \"telemetry\": ";
+  telemetry::write_metrics_json(std::cout, registry);
+  std::cout << "}\n";
 }
 
 }  // namespace hring::benchutil

@@ -3,7 +3,12 @@
 // guest value and active/passive status — the information the paper's
 // Figure 1 displays as gray labels and white/black nodes. p0 is elected.
 //
-//   $ ./figure1_trace
+// The same run is exported as a Chrome trace-event / Perfetto JSON
+// timeline (default figure1_trace.json, or argv[1]): open it at
+// https://ui.perfetto.dev to see the figure's phase schedule as spans.
+//
+//   $ ./figure1_trace [trace.json]
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -11,8 +16,10 @@
 #include "ring/labeled_ring.hpp"
 #include "sim/engine.hpp"
 #include "support/table.hpp"
+#include "telemetry/telemetry_observer.hpp"
+#include "telemetry/trace_export.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hring;
 
   const auto ring =
@@ -24,6 +31,8 @@ int main() {
   sim::SynchronousScheduler sched;
   sim::StepEngine engine(
       ring, election::BkProcess::factory(k, /*record_history=*/true), sched);
+  telemetry::TelemetryObserver telemetry_observer;
+  engine.add_observer(&telemetry_observer);
   const auto result = engine.run();
   if (result.outcome != sim::Outcome::kTerminated) {
     std::cerr << "unexpected outcome: " << sim::outcome_name(result.outcome)
@@ -70,5 +79,15 @@ int main() {
             << words::to_string(ring.label(*leader)) << "), after "
             << procs[*leader]->phase() << " phases — the paper shows the "
             << "first four, with p0 winning.\n";
+
+  const char* trace_path = argc > 1 ? argv[1] : "figure1_trace.json";
+  std::ofstream trace_file(trace_path);
+  if (!trace_file) {
+    std::cerr << "cannot open " << trace_path << "\n";
+    return 1;
+  }
+  telemetry::write_trace_json(trace_file, telemetry_observer);
+  std::cout << "\ntimeline: " << trace_path
+            << " (load at https://ui.perfetto.dev or chrome://tracing)\n";
   return 0;
 }

@@ -25,13 +25,16 @@
 #include "core/ringspec.hpp"
 #include "sim/render.hpp"
 #include "sim/trace.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
+#include "telemetry/telemetry_observer.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::cout
-      << "usage: " << argv0 << " [audit|sweep] [options]\n"
+      << "usage: " << argv0 << " [audit|sweep|trace] [options]\n"
       << "  audit               subcommand: §II model-conformance audit of\n"
          "                      the selected algorithm on the selected ring\n"
          "                      (replay determinism, locality, message and\n"
@@ -39,6 +42,9 @@ void usage(const char* argv0) {
       << "  sweep               subcommand: run the election across many\n"
          "                      consecutive seeds on a worker pool (one\n"
          "                      row per run; identical for any --workers)\n"
+      << "  trace               subcommand: run once with telemetry attached\n"
+         "                      and emit a Perfetto/chrome://tracing JSON\n"
+         "                      timeline (to --trace-out, default stdout)\n"
       << "  --ring A,B,C,...    clockwise labels (unsigned integers)\n"
       << "  --random-n N        instead of --ring: random asymmetric ring\n"
       << "  --spec FILE         load ring + config from a ringspec file\n"
@@ -53,6 +59,11 @@ void usage(const char* argv0) {
          " engine)\n"
       << "  --seed S            randomness seed (default 1)\n"
       << "  --trace             print the action-level trace\n"
+      << "  --trace-out FILE    write the telemetry timeline (Chrome\n"
+         "                      trace-event / Perfetto JSON) to FILE\n"
+      << "  --metrics-out FILE  write the telemetry metrics document\n"
+         "                      (counters + histograms) to FILE; with\n"
+         "                      sweep, registries of all runs are merged\n"
       << "  --watch N           render the configuration every N steps\n"
       << "  --model-check       exhaustively verify EVERY schedule (small\n"
          "                      rings; Ak/Bk only) instead of one run\n"
@@ -87,6 +98,7 @@ int main(int argc, char** argv) {
   std::optional<core::RingSpec> spec;
   std::size_t random_n = 0;
   std::string algo_name = "Ak";
+  bool algo_set = false;
   std::size_t k = 0;
   core::ElectionConfig config;
   bool trace_enabled = false;
@@ -95,6 +107,9 @@ int main(int argc, char** argv) {
   bool json = false;
   bool audit = false;
   bool sweep = false;
+  bool trace_cmd = false;
+  std::string trace_out;
+  std::string metrics_out;
   std::uint64_t watch_every = 0;
   std::size_t runs = 16;
   std::size_t workers = 0;
@@ -105,6 +120,9 @@ int main(int argc, char** argv) {
     first_arg = 2;
   } else if (argc > 1 && std::string(argv[1]) == "sweep") {
     sweep = true;
+    first_arg = 2;
+  } else if (argc > 1 && std::string(argv[1]) == "trace") {
+    trace_cmd = true;
     first_arg = 2;
   }
 
@@ -139,6 +157,7 @@ int main(int argc, char** argv) {
       random_n = static_cast<std::size_t>(std::stoull(next()));
     } else if (arg == "--algo") {
       algo_name = next();
+      algo_set = true;
     } else if (arg == "--k") {
       k = static_cast<std::size_t>(std::stoull(next()));
     } else if (arg == "--engine") {
@@ -183,6 +202,10 @@ int main(int argc, char** argv) {
       config.seed = std::stoull(next());
     } else if (arg == "--trace") {
       trace_enabled = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--watch") {
       watch_every = std::stoull(next());
     } else if (arg == "--model-check") {
@@ -205,17 +228,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto algo = election::algorithm_from_name(algo_name);
-  if (!algo) {
-    std::cerr << "unknown algorithm " << algo_name << "\n";
-    return EXIT_FAILURE;
-  }
-
   std::optional<ring::LabeledRing> ring;
   if (spec.has_value()) {
     ring.emplace(spec->ring);
     config = spec->config;
-    algo_name = election::algorithm_name(config.algorithm.id);
+    // The spec's algorithm wins unless --algo was passed explicitly.
+    if (!algo_set) {
+      algo_name = election::algorithm_name(config.algorithm.id);
+    }
     if (k == 0) k = config.algorithm.k;
   } else if (labels) {
     ring.emplace(*labels);
@@ -233,7 +253,16 @@ int main(int argc, char** argv) {
     return EXIT_FAILURE;
   }
 
+  const auto algo = election::algorithm_from_name(algo_name);
+  if (!algo) {
+    std::cerr << "unknown algorithm " << algo_name << "\n";
+    return EXIT_FAILURE;
+  }
+
   if (json) quiet = true;  // JSON owns stdout
+  // `trace` without --trace-out streams the timeline JSON to stdout.
+  const bool trace_to_stdout = trace_cmd && trace_out.empty();
+  if (trace_to_stdout) quiet = true;
 
   const auto report = ring::classify(*ring);
   if (k == 0) k = report.min_k();
@@ -255,15 +284,14 @@ int main(int argc, char** argv) {
     // is fixed; the seed varies the daemon/delay randomness, so the table
     // samples the schedule space. Cells derive everything from their index
     // — the table is identical for any --workers.
+    const bool want_metrics = !metrics_out.empty();
     struct Cell {
       std::uint64_t seed;
       std::string outcome;
       std::optional<sim::ProcessId> leader;
-      std::uint64_t steps;
-      std::uint64_t msgs;
-      double time;
-      std::uint64_t bits;
+      sim::Stats stats;
       bool ok;
+      telemetry::MetricsRegistry metrics;  // empty unless --metrics-out
     };
     const auto base_config = config;
     const auto cells = core::parallel_map<Cell>(
@@ -271,15 +299,19 @@ int main(int argc, char** argv) {
         [&](std::size_t i) {
           core::ElectionConfig cell_config = base_config;
           cell_config.seed = base_config.seed + i;
+          telemetry::TelemetryObserver cell_telemetry;
+          if (want_metrics) {
+            cell_config.extra_observers.push_back(&cell_telemetry);
+          }
           const auto m = core::measure(*ring, cell_config);
-          return Cell{cell_config.seed,
-                      sim::outcome_name(m.result.outcome),
-                      m.result.leader_pid(),
-                      m.result.stats.steps,
-                      m.result.stats.messages_sent,
-                      m.result.stats.time_units,
-                      m.result.stats.peak_space_bits,
-                      m.ok()};
+          Cell cell{cell_config.seed,
+                    sim::outcome_name(m.result.outcome),
+                    m.result.leader_pid(),
+                    m.result.stats,
+                    m.ok(),
+                    {}};
+          if (want_metrics) cell.metrics = cell_telemetry.metrics();
+          return cell;
         },
         workers);
     support::Table table({"seed", "outcome", "leader", "steps", "msgs",
@@ -291,14 +323,45 @@ int main(int argc, char** argv) {
           .cell(c.seed)
           .cell(c.outcome)
           .cell(c.leader ? "p" + std::to_string(*c.leader) : "-")
-          .cell(c.steps)
-          .cell(c.msgs)
-          .cell(c.time, 0)
-          .cell(c.bits)
+          .cell(c.stats.steps)
+          .cell(c.stats.messages_sent)
+          .cell(c.stats.time_units, 0)
+          .cell(c.stats.peak_space_bits)
           .cell(c.ok ? "yes" : "NO");
     }
+    if (want_metrics) {
+      // Registries merge by metric name: the document aggregates the whole
+      // sweep no matter how the runs were spread over workers.
+      telemetry::MetricsRegistry merged;
+      for (const Cell& c : cells) merged.merge(c.metrics);
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::cerr << "cannot open " << metrics_out << "\n";
+        return EXIT_FAILURE;
+      }
+      telemetry::write_metrics_json(out, merged);
+    }
     if (json) {
-      table.print_json(std::cout);
+      // One object per run, each carrying the complete Stats document.
+      support::JsonWriter sweep_json(std::cout);
+      sweep_json.begin_array();
+      for (const Cell& c : cells) {
+        sweep_json.begin_object();
+        sweep_json.key("seed").value(c.seed);
+        sweep_json.key("outcome").value(c.outcome);
+        if (c.leader.has_value()) {
+          sweep_json.key("leader").value(
+              static_cast<std::uint64_t>(*c.leader));
+        } else {
+          sweep_json.key("leader").null();
+        }
+        sweep_json.key("verified").value(c.ok);
+        sweep_json.key("stats");
+        c.stats.to_json(sweep_json);
+        sweep_json.end_object();
+      }
+      sweep_json.end_array();
+      std::cout << '\n';
     } else {
       table.print(std::cout);
       std::cout << "\nsweep: " << runs << " runs, "
@@ -342,8 +405,44 @@ int main(int argc, char** argv) {
   if (trace_enabled) config.extra_observers.push_back(&trace);
   sim::WatchObserver watch(std::cout, watch_every);
   if (watch_every > 0) config.extra_observers.push_back(&watch);
+  telemetry::TelemetryObserver telemetry_observer;
+  const bool want_telemetry =
+      trace_cmd || !trace_out.empty() || !metrics_out.empty();
+  if (want_telemetry) config.extra_observers.push_back(&telemetry_observer);
 
   const auto result = core::run_election(*ring, config);
+
+  if (want_telemetry) {
+    if (trace_to_stdout) {
+      telemetry::write_trace_json(std::cout, telemetry_observer);
+    } else if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::cerr << "cannot open " << trace_out << "\n";
+        return EXIT_FAILURE;
+      }
+      telemetry::write_trace_json(out, telemetry_observer);
+      if (!quiet) std::cout << "trace:   " << trace_out << "\n";
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::cerr << "cannot open " << metrics_out << "\n";
+        return EXIT_FAILURE;
+      }
+      telemetry::write_metrics_json(out, telemetry_observer.metrics());
+      if (!quiet) std::cout << "metrics: " << metrics_out << "\n";
+    }
+  }
+
+  if (trace_to_stdout) {
+    // The timeline owns stdout; verification still gates the exit code.
+    const bool check_true =
+        election::elects_true_leader(*algo) && report.asymmetric;
+    const auto verification =
+        core::verify_election(*ring, result, check_true);
+    return verification.ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  }
 
   if (json) {
     const bool check_true =

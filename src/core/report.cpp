@@ -42,34 +42,8 @@ void write_json_report(std::ostream& out, const ring::LabeledRing& ring,
 
   json.key("outcome").value(sim::outcome_name(result.outcome));
 
-  const auto& stats = result.stats;
-  json.key("stats").begin_object();
-  json.key("steps").value(stats.steps);
-  json.key("actions").value(stats.actions);
-  json.key("time_units").value(stats.time_units);
-  json.key("messages_sent").value(stats.messages_sent);
-  json.key("messages_received").value(stats.messages_received);
-  json.key("message_bits_sent").value(stats.message_bits_sent);
-  json.key("peak_space_bits")
-      .value(static_cast<std::uint64_t>(stats.peak_space_bits));
-  json.key("peak_link_occupancy")
-      .value(static_cast<std::uint64_t>(stats.peak_link_occupancy));
-  json.key("label_comparisons").value(stats.label_comparisons);
-  json.key("faults_injected").value(stats.faults_injected);
-  json.key("sent_by_kind").begin_object();
-  for (std::size_t i = 0; i < sim::kNumMsgKinds; ++i) {
-    if (stats.sent_by_kind[i] == 0) continue;
-    json.key(sim::kind_name(static_cast<sim::MsgKind>(i)))
-        .value(stats.sent_by_kind[i]);
-  }
-  json.end_object();
-  json.key("sent_by_process").begin_array();
-  for (const auto count : stats.sent_by_process) json.value(count);
-  json.end_array();
-  json.key("received_by_process").begin_array();
-  for (const auto count : stats.received_by_process) json.value(count);
-  json.end_array();
-  json.end_object();
+  json.key("stats");
+  result.stats.to_json(json);
 
   json.key("processes").begin_array();
   for (const auto& p : result.processes) {

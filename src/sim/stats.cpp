@@ -1,5 +1,7 @@
 #include "sim/stats.hpp"
 
+#include "support/json.hpp"
+
 namespace hring::sim {
 
 std::string Stats::summary() const {
@@ -12,6 +14,35 @@ std::string Stats::summary() const {
   out += " peak_space_bits=" + std::to_string(peak_space_bits);
   out += " peak_link=" + std::to_string(peak_link_occupancy);
   return out;
+}
+
+void Stats::to_json(support::JsonWriter& json) const {
+  json.begin_object();
+  json.key("steps").value(steps);
+  json.key("actions").value(actions);
+  json.key("time_units").value(time_units);
+  json.key("messages_sent").value(messages_sent);
+  json.key("messages_received").value(messages_received);
+  json.key("message_bits_sent").value(message_bits_sent);
+  json.key("peak_space_bits")
+      .value(static_cast<std::uint64_t>(peak_space_bits));
+  json.key("peak_link_occupancy")
+      .value(static_cast<std::uint64_t>(peak_link_occupancy));
+  json.key("label_comparisons").value(label_comparisons);
+  json.key("faults_injected").value(faults_injected);
+  json.key("sent_by_kind").begin_object();
+  for (std::size_t i = 0; i < kNumMsgKinds; ++i) {
+    if (sent_by_kind[i] == 0) continue;
+    json.key(kind_name(static_cast<MsgKind>(i))).value(sent_by_kind[i]);
+  }
+  json.end_object();
+  json.key("sent_by_process").begin_array();
+  for (const auto count : sent_by_process) json.value(count);
+  json.end_array();
+  json.key("received_by_process").begin_array();
+  for (const auto count : received_by_process) json.value(count);
+  json.end_array();
+  json.end_object();
 }
 
 }  // namespace hring::sim

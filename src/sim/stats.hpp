@@ -13,6 +13,10 @@
 
 #include "sim/message.hpp"
 
+namespace hring::support {
+class JsonWriter;
+}
+
 namespace hring::sim {
 
 struct Stats {
@@ -46,6 +50,11 @@ struct Stats {
   std::uint64_t faults_injected = 0;
 
   [[nodiscard]] std::string summary() const;
+
+  /// Emits the statistics as one JSON object value (the writer must be
+  /// positioned where a value may appear). Shared by the run report, the
+  /// sweep's per-run rows and the telemetry metrics document.
+  void to_json(support::JsonWriter& json) const;
 
   /// Rewinds every counter for an n-process run, reusing the per-process
   /// vectors' storage (ExecutionCore::reset: recycled executions collect

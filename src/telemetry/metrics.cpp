@@ -1,0 +1,108 @@
+#include "telemetry/metrics.hpp"
+
+#include "support/json.hpp"
+
+namespace hring::telemetry {
+
+Histogram::Histogram(std::string name, std::vector<double> edges)
+    : name_(std::move(name)),
+      edges_(std::move(edges)),
+      buckets_(edges_.size() + 1, 0) {
+  HRING_EXPECTS(!edges_.empty());
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    HRING_EXPECTS(edges_[i - 1] < edges_[i]);
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  HRING_EXPECTS(same_layout(other));
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+CounterId MetricsRegistry::counter(std::string_view name) {
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i].name == name) return CounterId{i};
+  }
+  counters_.push_back(Counter{std::string(name), 0});
+  return CounterId{counters_.size() - 1};
+}
+
+HistogramId MetricsRegistry::histogram(std::string_view name,
+                                       std::span<const double> edges) {
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i].name() == name) {
+      HRING_EXPECTS(histograms_[i].edges().size() == edges.size());
+      for (std::size_t j = 0; j < edges.size(); ++j) {
+        HRING_EXPECTS(histograms_[i].edges()[j] == edges[j]);
+      }
+      return HistogramId{i};
+    }
+  }
+  histograms_.emplace_back(std::string(name),
+                           std::vector<double>(edges.begin(), edges.end()));
+  return HistogramId{histograms_.size() - 1};
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  for (const Counter& c : counters_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  for (const Histogram& h : histograms_) {
+    if (h.name() == name) return &h;
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const Counter& c : other.counters_) {
+    add(counter(c.name), c.value);
+  }
+  for (const Histogram& h : other.histograms_) {
+    const HistogramId id = histogram(h.name(), h.edges());
+    histograms_[id.index].merge(h);
+  }
+}
+
+void MetricsRegistry::to_json(support::JsonWriter& json) const {
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const Counter& c : counters_) {
+    json.key(c.name).value(c.value);
+  }
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const Histogram& h : histograms_) {
+    json.key(h.name()).begin_object();
+    json.key("edges").begin_array();
+    for (const double e : h.edges()) json.value(e);
+    json.end_array();
+    json.key("underflow").value(h.underflow());
+    json.key("buckets").begin_array();
+    for (std::size_t i = 1; i + 1 < h.slots(); ++i) json.value(h.bucket(i));
+    json.end_array();
+    json.key("overflow").value(h.overflow());
+    json.key("count").value(h.count());
+    json.key("sum").value(h.sum());
+    if (h.count() > 0) {
+      json.key("min").value(h.min());
+      json.key("max").value(h.max());
+      json.key("mean").value(h.mean());
+    }
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace hring::telemetry

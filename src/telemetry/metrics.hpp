@@ -1,0 +1,170 @@
+// hring-telemetry: metrics registry.
+//
+// Counters and fixed-bucket histograms for run instrumentation. The design
+// splits registration from recording: registering a metric (cold path, at
+// observer start) may allocate and returns a dense id; recording through
+// that id (hot path, once per firing / per step) is a bounds-checked index
+// plus an increment and never touches the allocator — the same discipline
+// the engines follow, enforced by hring-lint's hot-path-alloc check.
+//
+// Registries from parallel sweep workers merge by metric name (counters
+// add, histograms add bucket-wise), so a fan-out of runs aggregates into
+// one document. Serialization reuses support/json.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace hring::support {
+class JsonWriter;
+}
+
+namespace hring::telemetry {
+
+/// Dense handle into a registry's counter table.
+struct CounterId {
+  std::size_t index = 0;
+};
+
+/// Dense handle into a registry's histogram table.
+struct HistogramId {
+  std::size_t index = 0;
+};
+
+struct Counter {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Fixed-bucket histogram over doubles.
+///
+/// The bucket layout is defined by a strictly increasing edge sequence
+/// e_0 < e_1 < ... < e_{m-1}:
+///
+///   slot 0      — underflow:  v < e_0
+///   slot i      — interior:   e_{i-1} <= v < e_i   (1 <= i <= m-1)
+///   slot m      — overflow:   v >= e_{m-1}
+///
+/// A value exactly on an edge lands in the bucket whose *lower* edge it is
+/// (lower-inclusive). Edges are fixed at registration: recording never
+/// rebalances, so the hot path is one binary search plus an increment.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> edges);
+
+  // hring-lint: hot-path
+  void record(double v) {
+    std::size_t lo = 0;
+    std::size_t hi = edges_.size();
+    // First edge strictly greater than v == the slot index (see layout).
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (edges_[mid] <= v) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    ++buckets_[lo];
+    ++count_;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
+  /// Number of bucket slots: edges().size() + 1 (underflow + interior +
+  /// overflow).
+  [[nodiscard]] std::size_t slots() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t slot) const {
+    HRING_EXPECTS(slot < buckets_.size());
+    return buckets_[slot];
+  }
+  [[nodiscard]] std::uint64_t underflow() const { return buckets_.front(); }
+  [[nodiscard]] std::uint64_t overflow() const { return buckets_.back(); }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  /// Smallest / largest recorded value; only meaningful when count() > 0.
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// True iff `other` has the same name and the same edge sequence — the
+  /// precondition for merge().
+  [[nodiscard]] bool same_layout(const Histogram& other) const {
+    return name_ == other.name_ && edges_ == other.edges_;
+  }
+
+  /// Adds `other`'s buckets and moments into this histogram. Requires
+  /// same_layout(other).
+  void merge(const Histogram& other);
+
+ private:
+  std::string name_;
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Named counters and histograms for one run (or one worker's worth of
+/// runs). Registration is find-or-create by name; ids stay valid for the
+/// registry's lifetime (tables only grow).
+class MetricsRegistry {
+ public:
+  /// Finds or creates the counter `name`.
+  CounterId counter(std::string_view name);
+
+  /// Finds or creates the histogram `name` with the given bucket edges
+  /// (strictly increasing, non-empty). Re-registering an existing name
+  /// requires identical edges.
+  HistogramId histogram(std::string_view name, std::span<const double> edges);
+
+  // hring-lint: hot-path
+  void add(CounterId id, std::uint64_t delta = 1) {
+    HRING_EXPECTS(id.index < counters_.size());
+    counters_[id.index].value += delta;
+  }
+
+  // hring-lint: hot-path
+  void record(HistogramId id, double v) {
+    HRING_EXPECTS(id.index < histograms_.size());
+    histograms_[id.index].record(v);
+  }
+
+  [[nodiscard]] const std::vector<Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::vector<Histogram>& histograms() const {
+    return histograms_;
+  }
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  /// Folds `other` into this registry by metric name: counters add,
+  /// histograms merge bucket-wise (requiring identical edges), metrics
+  /// missing here are created. The aggregation step of a parallel sweep.
+  void merge(const MetricsRegistry& other);
+
+  /// Emits the registry as one JSON object value:
+  ///   {"counters": {...}, "histograms": {name: {edges, buckets, ...}}}
+  void to_json(support::JsonWriter& json) const;
+
+ private:
+  std::vector<Counter> counters_;
+  std::vector<Histogram> histograms_;
+};
+
+}  // namespace hring::telemetry

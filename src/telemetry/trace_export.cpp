@@ -1,0 +1,160 @@
+#include "telemetry/trace_export.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace hring::telemetry {
+
+namespace {
+
+using support::JsonWriter;
+
+double to_micros(double time_units) {
+  return time_units * kTraceMicrosPerTimeUnit;
+}
+
+/// Common prefix of every event: name/ph/ts plus the track coordinates.
+void event_head(JsonWriter& json, std::string_view name, const char* ph,
+                double ts_micros, int pid, std::uint64_t tid) {
+  json.begin_object();
+  json.key("name").value(name);
+  json.key("ph").value(ph);
+  json.key("ts").value(ts_micros);
+  json.key("pid").value(pid);
+  json.key("tid").value(tid);
+}
+
+void metadata_event(JsonWriter& json, const char* kind, int pid,
+                    std::uint64_t tid, bool with_tid,
+                    std::string_view label) {
+  json.begin_object();
+  json.key("name").value(kind);
+  json.key("ph").value("M");
+  json.key("pid").value(pid);
+  if (with_tid) json.key("tid").value(tid);
+  json.key("args").begin_object();
+  json.key("name").value(label);
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+void write_trace_json(std::ostream& out,
+                      const TelemetryObserver& telemetry) {
+  JsonWriter json(out);
+  const std::size_t n = telemetry.process_count();
+
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("traceEvents").begin_array();
+
+  // Track naming. Processes and links are separate trace-pid groups so
+  // Perfetto renders them as two collapsible lanes.
+  metadata_event(json, "process_name", kTraceProcessGroup, 0, false,
+                 "processes");
+  metadata_event(json, "process_name", kTraceLinkGroup, 0, false, "links");
+  for (sim::ProcessId pid = 0; pid < n; ++pid) {
+    const std::string proc_name = "p" + std::to_string(pid) + " (label " +
+                                  std::to_string(telemetry.process_label(pid)) +
+                                  ")";
+    metadata_event(json, "thread_name", kTraceProcessGroup, pid, true,
+                   proc_name);
+    const std::string link_name =
+        "link p" + std::to_string(pid) + " -> p" +
+        std::to_string(pid + 1 == n ? 0 : pid + 1);
+    metadata_event(json, "thread_name", kTraceLinkGroup, pid, true,
+                   link_name);
+  }
+
+  // B_k phase spans: complete ("X") events on the owning process's track.
+  for (const PhaseSpan& span : telemetry.phase_spans()) {
+    const std::string name = "phase " + std::to_string(span.phase) + " g=" +
+                             std::to_string(span.guest) +
+                             (span.active ? "*" : "");
+    event_head(json, name, "X", to_micros(span.begin_time),
+               kTraceProcessGroup, span.pid);
+    json.key("dur").value(to_micros(span.end_time - span.begin_time));
+    json.key("cat").value("phase");
+    json.key("args").begin_object();
+    json.key("phase").value(static_cast<std::uint64_t>(span.phase));
+    json.key("guest").value(span.guest);
+    json.key("active").value(span.active);
+    json.key("closed").value(span.closed);
+    json.end_object();
+    json.end_object();
+  }
+
+  // Deactivations and barrier starts: instant ("i") ticks.
+  for (const Marker& marker : telemetry.markers()) {
+    const bool deactivate = marker.kind == Marker::Kind::kDeactivate;
+    event_head(json, deactivate ? "deactivate" : "phase barrier", "i",
+               to_micros(marker.time), kTraceProcessGroup, marker.pid);
+    json.key("s").value("t");
+    json.key("cat").value("marker");
+    json.end_object();
+  }
+
+  // Active-process census as a counter track: starts at the number of
+  // phase-1 entries and steps down at each deactivation (markers are
+  // recorded in firing order, i.e. chronologically).
+  std::uint64_t active = 0;
+  for (const PhaseSpan& span : telemetry.phase_spans()) {
+    if (span.phase == 1) ++active;
+  }
+  if (active > 0) {
+    const auto emit_active = [&](double time, std::uint64_t value) {
+      event_head(json, "active processes", "C", to_micros(time),
+                 kTraceProcessGroup, 0);
+      json.key("args").begin_object();
+      json.key("active").value(value);
+      json.end_object();
+      json.end_object();
+    };
+    emit_active(0.0, active);
+    for (const Marker& marker : telemetry.markers()) {
+      if (marker.kind != Marker::Kind::kDeactivate) continue;
+      if (active > 0) --active;
+      emit_active(marker.time, active);
+    }
+  }
+
+  // Per-process space_bits as counter tracks (sampled on change).
+  for (const SpaceSample& sample : telemetry.space_samples()) {
+    const std::string name = "space_bits p" + std::to_string(sample.pid);
+    event_head(json, name, "C", to_micros(sample.time), kTraceProcessGroup,
+               sample.pid);
+    json.key("args").begin_object();
+    json.key("bits").value(static_cast<std::uint64_t>(sample.bits));
+    json.end_object();
+    json.end_object();
+  }
+
+  // Message spans: complete events on the carrying link's track. A span
+  // with equal send and receive times (step engine, same-step delivery)
+  // still renders as a zero-width slice.
+  for (const MessageSpan& span : telemetry.message_spans()) {
+    event_head(json, sim::kind_name(span.kind), "X",
+               to_micros(span.send_time), kTraceLinkGroup, span.from);
+    json.key("dur").value(to_micros(span.recv_time - span.send_time));
+    json.key("cat").value("message");
+    json.key("args").begin_object();
+    json.key("label").value(span.label);
+    json.end_object();
+    json.end_object();
+  }
+
+  json.end_array();
+  json.end_object();
+  out << '\n';
+}
+
+void write_metrics_json(std::ostream& out, const MetricsRegistry& registry) {
+  JsonWriter json(out);
+  registry.to_json(json);
+  out << '\n';
+}
+
+}  // namespace hring::telemetry

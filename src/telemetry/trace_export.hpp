@@ -1,0 +1,34 @@
+// hring-telemetry: exporters.
+//
+// write_trace_json emits a Chrome trace-event JSON document (the format
+// chrome://tracing and ui.perfetto.dev load directly): per-process tracks
+// carrying B_k phase spans and deactivation/barrier ticks, per-link tracks
+// carrying message spans, counter tracks for the active-process census and
+// per-process space_bits. One normalized time unit is rendered as one
+// millisecond.
+//
+// write_metrics_json emits the metrics registry as a standalone JSON
+// document (see MetricsRegistry::to_json for the schema).
+#pragma once
+
+#include <iosfwd>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry_observer.hpp"
+
+namespace hring::telemetry {
+
+/// Trace-event pid namespaces used by write_trace_json: process timelines
+/// live under trace pid 1, link timelines under trace pid 2.
+inline constexpr int kTraceProcessGroup = 1;
+inline constexpr int kTraceLinkGroup = 2;
+
+/// Microseconds per normalized time unit in the exported trace (1 unit =
+/// 1 ms, so Perfetto's "ms" display reads directly in time units).
+inline constexpr double kTraceMicrosPerTimeUnit = 1000.0;
+
+void write_trace_json(std::ostream& out, const TelemetryObserver& telemetry);
+
+void write_metrics_json(std::ostream& out, const MetricsRegistry& registry);
+
+}  // namespace hring::telemetry

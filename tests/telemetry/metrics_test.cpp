@@ -1,0 +1,174 @@
+// Histogram bucketing and registry merge semantics (ISSUE 5 satellite).
+//
+// The bucket layout contract: slot 0 is underflow (v < e_0), interior
+// slot i covers [e_{i-1}, e_i) lower-inclusive, the last slot is overflow
+// (v >= e_{m-1}). Merging registries from parallel sweep workers must be
+// exact bucket-wise addition.
+#include "telemetry/metrics.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/json.hpp"
+
+namespace hring::telemetry {
+namespace {
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h("h", {1.0, 2.0, 4.0});
+  EXPECT_EQ(h.slots(), 4u);  // underflow + 2 interior + overflow
+
+  h.record(0.5);    // < e_0: underflow
+  h.record(-3.0);   // underflow too
+  h.record(100.0);  // >= e_{m-1}: overflow
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket(1), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, ExactEdgeValuesAreLowerInclusive) {
+  Histogram h("h", {1.0, 2.0, 4.0});
+  h.record(1.0);  // exactly e_0: first interior bucket [1, 2)
+  h.record(2.0);  // exactly e_1: second interior bucket [2, 4)
+  h.record(4.0);  // exactly the last edge: overflow (v >= e_{m-1})
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, InteriorValues) {
+  Histogram h("h", {1.0, 2.0, 4.0});
+  h.record(1.5);
+  h.record(1.999);
+  h.record(3.0);
+  EXPECT_EQ(h.bucket(1), 2u);  // [1, 2)
+  EXPECT_EQ(h.bucket(2), 1u);  // [2, 4)
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, Moments) {
+  Histogram h("h", {10.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);  // defined as 0 on the empty histogram
+
+  h.record(2.0);
+  h.record(6.0);
+  h.record(4.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 6.0);
+}
+
+TEST(Histogram, MergeAddsBucketsAndMoments) {
+  Histogram a("h", {1.0, 2.0});
+  Histogram b("h", {1.0, 2.0});
+  a.record(0.5);
+  a.record(1.5);
+  b.record(1.5);
+  b.record(9.0);
+
+  ASSERT_TRUE(a.same_layout(b));
+  a.merge(b);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.bucket(1), 2u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 12.5);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Histogram, SameLayoutRequiresNameAndEdges) {
+  const Histogram a("h", {1.0, 2.0});
+  const Histogram other_name("g", {1.0, 2.0});
+  const Histogram other_edges("h", {1.0, 3.0});
+  EXPECT_FALSE(a.same_layout(other_name));
+  EXPECT_FALSE(a.same_layout(other_edges));
+}
+
+TEST(MetricsRegistry, CounterFindOrCreate) {
+  MetricsRegistry reg;
+  const CounterId a = reg.counter("a");
+  const CounterId again = reg.counter("a");
+  EXPECT_EQ(a.index, again.index);
+
+  reg.add(a);
+  reg.add(a, 4);
+  ASSERT_NE(reg.find_counter("a"), nullptr);
+  EXPECT_EQ(reg.find_counter("a")->value, 5u);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, HistogramFindOrCreate) {
+  MetricsRegistry reg;
+  const double edges[] = {1.0, 2.0};
+  const HistogramId h = reg.histogram("h", edges);
+  const HistogramId again = reg.histogram("h", edges);
+  EXPECT_EQ(h.index, again.index);
+
+  reg.record(h, 1.5);
+  ASSERT_NE(reg.find_histogram("h"), nullptr);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 1u);
+}
+
+// The parallel-sweep aggregation step: two workers' registries fold into
+// one, creating metrics the destination has not seen and adding the rest.
+TEST(MetricsRegistry, MergeFromParallelWorkers) {
+  const double edges[] = {1.0, 2.0, 4.0};
+
+  MetricsRegistry worker_a;
+  worker_a.add(worker_a.counter("runs"), 3);
+  worker_a.add(worker_a.counter("only_in_a"), 7);
+  const HistogramId ha = worker_a.histogram("latency", edges);
+  worker_a.record(ha, 0.5);
+  worker_a.record(ha, 1.5);
+
+  MetricsRegistry worker_b;
+  worker_b.add(worker_b.counter("runs"), 2);
+  const HistogramId hb = worker_b.histogram("latency", edges);
+  worker_b.record(hb, 1.5);
+  worker_b.record(hb, 8.0);
+  worker_b.record(hb, 3.0);
+
+  MetricsRegistry merged;
+  merged.merge(worker_a);
+  merged.merge(worker_b);
+
+  EXPECT_EQ(merged.find_counter("runs")->value, 5u);
+  EXPECT_EQ(merged.find_counter("only_in_a")->value, 7u);
+  const Histogram* latency = merged.find_histogram("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 5u);
+  EXPECT_EQ(latency->underflow(), 1u);
+  EXPECT_EQ(latency->bucket(1), 2u);  // the two 1.5s
+  EXPECT_EQ(latency->bucket(2), 1u);  // 3.0
+  EXPECT_EQ(latency->overflow(), 1u);
+  EXPECT_DOUBLE_EQ(latency->min(), 0.5);
+  EXPECT_DOUBLE_EQ(latency->max(), 8.0);
+}
+
+TEST(MetricsRegistry, ToJsonSchema) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("fired"), 2);
+  const double edges[] = {1.0, 2.0};
+  reg.record(reg.histogram("h", edges), 1.5);
+
+  std::ostringstream out;
+  {
+    support::JsonWriter json(out);
+    reg.to_json(json);
+  }
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"fired\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"count\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hring::telemetry
