@@ -9,12 +9,11 @@
 // execution beats the Lemma 1 lower bound, and none exceeds the theorem
 // ceiling (for A_k: one action per message + n inits bounds steps by
 // messages + n).
-#include <algorithm>
 #include <iostream>
 
 #include "bench/bench_util.hpp"
+#include "core/campaign.hpp"
 #include "core/experiment.hpp"
-#include "core/parallel_sweep.hpp"
 #include "ring/generator.hpp"
 #include "support/table.hpp"
 
@@ -46,29 +45,34 @@ int main(int argc, char** argv) {
       core::ElectionConfig sync_config;
       sync_config.algorithm = {algo, k, false};
       const auto sync_run = core::run_election(*ring, sync_config);
+      HRING_ENSURES(sync_run.leader_pid() == expected_leader);
       const std::uint64_t ceiling = sync_run.stats.messages_sent + n;
 
       for (const auto daemon : {core::SchedulerKind::kRandomSingle,
                                 core::SchedulerKind::kRandomSubset}) {
-        const auto steps = core::parallel_map<std::uint64_t>(
-            kSamples, [&](std::size_t i) {
-              core::ElectionConfig config;
-              config.algorithm = {algo, k, false};
-              config.scheduler = daemon;
-              config.seed = 0xBAD5EED + i;
-              const auto m = core::measure(*ring, config);
-              HRING_ENSURES(m.ok());
-              HRING_ENSURES(m.result.leader_pid() == expected_leader);
-              return m.result.stats.steps;
-            });
-        const auto [lo, hi] = std::minmax_element(steps.begin(), steps.end());
+        // One campaign per daemon: kSamples schedules of the same ring,
+        // every terminal configuration verified and checked against the
+        // true leader (the paper's schedule-independence expectation).
+        core::SweepConfig sweep;
+        sweep.election.algorithm = {algo, k, false};
+        sweep.election.scheduler = daemon;
+        sweep.source = core::RingSource::fixed(*ring);
+        sweep.cells = kSamples;
+        sweep.seed = 0xBAD5EED;
+        sweep.check_true_leader = true;
+        const auto campaign = core::run_campaign(sweep);
+        HRING_ENSURES(campaign.all_verified());
+        HRING_ENSURES(campaign.outcome_count(sim::Outcome::kTerminated) ==
+                      kSamples);
+        const auto* steps = campaign.metrics.find_histogram("campaign.steps");
+        HRING_ENSURES(steps != nullptr && steps->count() == kSamples);
         table.row()
             .cell(election::algorithm_name(algo))
             .cell(static_cast<std::uint64_t>(n))
             .cell(static_cast<std::uint64_t>(k))
             .cell(core::scheduler_kind_name(daemon))
-            .cell(*lo)
-            .cell(*hi)
+            .cell(static_cast<std::uint64_t>(steps->min()))
+            .cell(static_cast<std::uint64_t>(steps->max()))
             .cell(sync_run.stats.steps)
             .cell(core::lower_bound_steps(n, k))
             .cell(ceiling);

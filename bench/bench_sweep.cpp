@@ -1,0 +1,143 @@
+// Campaign throughput: the batched sweep engine against the scalar
+// engine and the pre-campaign parallel_map task model.
+//
+// Every row runs the same grid of small-n elections three ways:
+//
+//   baseline  — parallel_map over run_election + verify_election, the
+//               task model the grid benches used before campaigns (one
+//               recycled scalar engine per worker, one task per cell);
+//   scalar    — run_campaign with the scalar backend (CellQueue span
+//               claiming, merged histograms, same per-cell work);
+//   batch     — run_campaign with the batch backend (BatchRunner arena,
+//               batch_slots rings stepped per worker).
+//
+// All three derive per-cell seeds the same way, verify every terminal
+// configuration and elect identical leaders; the batch backend's Stats
+// are byte-identical to the scalar engine's (see
+// tests/integration/batch_engine_test), so the comparison is pure
+// execution-model overhead. The committed BENCH_sweep.json at the repo
+// root records this bench's --json output on the reference machine (see
+// docs/REPRODUCING.md for the schema and methodology).
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/campaign.hpp"
+#include "core/election_driver.hpp"
+#include "core/parallel_sweep.hpp"
+#include "core/verification.hpp"
+#include "ring/generator.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hring;
+
+constexpr std::uint64_t kCampaignSeed = 0x5EEDCA;
+
+/// elections/sec of the pre-campaign task model on the same cell grid.
+double baseline_eps(const ring::LabeledRing& ring,
+                    const core::ElectionConfig& election, std::size_t cells,
+                    bool check_true_leader) {
+  const auto start = std::chrono::steady_clock::now();
+  core::parallel_map<unsigned char>(cells, [&](std::size_t i) {
+    core::ElectionConfig cell_config = election;
+    cell_config.seed = core::derive_cell_seeds(kCampaignSeed, i).election_seed;
+    cell_config.monitor_spec = false;
+    const auto result = core::run_election(ring, cell_config);
+    const auto verification =
+        core::verify_election(ring, result, check_true_leader);
+    HRING_ENSURES(verification.ok);
+    return static_cast<unsigned char>(1);
+  });
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return static_cast<double>(cells) / elapsed.count();
+}
+
+double campaign_eps(const ring::LabeledRing& ring,
+                    const core::ElectionConfig& election, std::size_t cells,
+                    bool check_true_leader, core::CampaignBackend backend) {
+  core::SweepConfig config;
+  config.election = election;
+  config.source = core::RingSource::fixed(ring);
+  config.cells = cells;
+  config.seed = kCampaignSeed;
+  config.backend = backend;
+  config.check_true_leader = check_true_leader;
+  const auto result = core::run_campaign(config);
+  HRING_ENSURES(result.all_verified());
+  return result.elections_per_second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto format = benchutil::output_format(argc, argv);
+  const bool smoke = benchutil::smoke_mode(argc, argv);
+
+  benchutil::headline(format,
+                      "campaign throughput: batch engine vs scalar engine "
+                      "vs parallel_map task model\n(identical cells, "
+                      "verified, same derived seeds)");
+
+  support::Table table({"algo", "n", "cells", "baseline el/s", "scalar el/s",
+                        "batch el/s", "batch/baseline"});
+
+  struct Config {
+    election::AlgorithmId algo;
+    std::size_t n;
+    std::size_t k;
+  };
+  const Config grid[] = {
+      {election::AlgorithmId::kChangRoberts, 4, 1},
+      {election::AlgorithmId::kChangRoberts, 8, 1},
+      {election::AlgorithmId::kAk, 8, 3},
+  };
+
+  for (const Config& config : grid) {
+    if (smoke && config.n > 4 &&
+        config.algo == election::AlgorithmId::kChangRoberts) {
+      continue;
+    }
+    const std::size_t cells =
+        smoke ? 10'000
+              : (config.algo == election::AlgorithmId::kChangRoberts
+                     ? 500'000
+                     : 100'000);
+
+    support::Rng ring_rng(0xB5EE7 + config.n);
+    ring::LabeledRing ring =
+        config.k == 1 ? ring::distinct_ring(config.n, ring_rng)
+                      : ring::LabeledRing::from_values({1, 2, 3, 2, 1, 3, 2, 1});
+    core::ElectionConfig election;
+    election.algorithm = {config.algo, config.k, false};
+    const bool check_true =
+        election::elects_true_leader(config.algo);
+
+    const double base =
+        baseline_eps(ring, election, cells, check_true);
+    const double scalar = campaign_eps(ring, election, cells, check_true,
+                                       core::CampaignBackend::kScalar);
+    const double batch = campaign_eps(ring, election, cells, check_true,
+                                      core::CampaignBackend::kBatch);
+    table.row()
+        .cell(election::algorithm_name(config.algo))
+        .cell(static_cast<std::uint64_t>(config.n))
+        .cell(static_cast<std::uint64_t>(cells))
+        .cell(static_cast<std::uint64_t>(base))
+        .cell(static_cast<std::uint64_t>(scalar))
+        .cell(static_cast<std::uint64_t>(batch))
+        .cell(batch / base, 2);
+  }
+
+  benchutil::emit(table, format);
+  benchutil::footer(
+      format,
+      "\nthe batch engine packs batch_slots rings per arena (bit planes, "
+      "one LinkPlane, no per-node\nheap objects) and amortizes every "
+      "per-cell fixed cost; the committed reference series lives\nin "
+      "BENCH_sweep.json (schema: docs/REPRODUCING.md).\n");
+  return 0;
+}

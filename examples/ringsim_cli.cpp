@@ -11,8 +11,10 @@
 #include <iostream>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
+#include "core/campaign.hpp"
 #include "core/election_driver.hpp"
 #include "core/experiment.hpp"
 #include "core/parallel_sweep.hpp"
@@ -69,9 +71,17 @@ void usage(const char* argv0) {
          "                      rings; Ak/Bk only) instead of one run\n"
       << "  --json              emit the full run report as JSON\n"
       << "  --quiet             outcome + stats only\n"
-      << "  --runs N            sweep: number of seeds (default 16)\n"
-      << "  --workers W         sweep: worker threads (default: hardware"
-         " concurrency)\n";
+      << "  --runs N            sweep: number of cells (default 16;\n"
+         "                      --cells is an alias)\n"
+      << "  --workers W         sweep: worker threads, >= 1 (default:"
+         " hardware concurrency)\n"
+      << "  --campaign          sweep: statistical campaign mode — print\n"
+         "                      merged percentiles + throughput instead of\n"
+         "                      one row per run; with --random-n, every\n"
+         "                      cell samples its own asymmetric ring\n"
+      << "  --backend B         sweep: auto | batch | scalar (default"
+         " auto)\n"
+      << "  --no-verify         sweep: skip terminal-state verification\n";
 }
 
 std::optional<hring::words::LabelSequence> parse_ring(const std::string& s) {
@@ -113,6 +123,9 @@ int main(int argc, char** argv) {
   std::uint64_t watch_every = 0;
   std::size_t runs = 16;
   std::size_t workers = 0;
+  bool campaign_mode = false;
+  bool verify = true;
+  core::CampaignBackend backend = core::CampaignBackend::kAuto;
 
   int first_arg = 1;
   if (argc > 1 && std::string(argv[1]) == "audit") {
@@ -214,10 +227,42 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--quiet") {
       quiet = true;
-    } else if (arg == "--runs") {
+    } else if (arg == "--runs" || arg == "--cells") {
       runs = static_cast<std::size_t>(std::stoull(next()));
     } else if (arg == "--workers") {
-      workers = static_cast<std::size_t>(std::stoull(next()));
+      const std::string v = next();
+      long long parsed = 0;
+      try {
+        std::size_t pos = 0;
+        parsed = std::stoll(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+      } catch (...) {
+        std::cerr << "bad --workers '" << v
+                  << "': need a positive integer\n";
+        return EXIT_FAILURE;
+      }
+      if (parsed <= 0) {
+        std::cerr << "bad --workers " << parsed
+                  << ": need at least 1 worker thread\n";
+        return EXIT_FAILURE;
+      }
+      workers = static_cast<std::size_t>(parsed);
+    } else if (arg == "--campaign") {
+      campaign_mode = true;
+    } else if (arg == "--backend") {
+      const std::string v = next();
+      if (v == "auto") {
+        backend = core::CampaignBackend::kAuto;
+      } else if (v == "batch") {
+        backend = core::CampaignBackend::kBatch;
+      } else if (v == "scalar") {
+        backend = core::CampaignBackend::kScalar;
+      } else {
+        std::cerr << "bad --backend (auto | batch | scalar)\n";
+        return EXIT_FAILURE;
+      }
+    } else if (arg == "--no-verify") {
+      verify = false;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return EXIT_SUCCESS;
@@ -280,75 +325,152 @@ int main(int argc, char** argv) {
   }
 
   if (sweep) {
-    // One election per seed, fanned out with core::parallel_map. The ring
-    // is fixed; the seed varies the daemon/delay randomness, so the table
-    // samples the schedule space. Cells derive everything from their index
-    // — the table is identical for any --workers.
+    // Every sweep is a campaign (core/campaign.hpp): one campaign seed,
+    // per-cell seeds derived from (seed, index), backend auto-selected.
+    // The classic table mode streams per-cell rows through the campaign's
+    // cell sink; --campaign prints the merged percentile summary instead.
     const bool want_metrics = !metrics_out.empty();
-    struct Cell {
-      std::uint64_t seed;
-      std::string outcome;
+    core::SweepConfig sweep_config;
+    sweep_config.election = config;
+    sweep_config.cells = runs;
+    sweep_config.seed = config.seed;
+    sweep_config.workers = workers;
+    sweep_config.backend = backend;
+    sweep_config.verify = verify;
+    sweep_config.collect_telemetry = want_metrics;
+    sweep_config.check_true_leader = election::elects_true_leader(*algo);
+    if (campaign_mode && random_n >= 2) {
+      // Statistical mode over instances: every cell samples its own
+      // asymmetric ring from its derived ring seed.
+      sweep_config.source = core::RingSource::random_asymmetric(random_n);
+    } else {
+      sweep_config.source = core::RingSource::fixed(*ring);
+    }
+
+    struct Row {
+      std::uint64_t seed = 0;
+      sim::Outcome outcome = sim::Outcome::kDeadlock;
       std::optional<sim::ProcessId> leader;
       sim::Stats stats;
-      bool ok;
-      telemetry::MetricsRegistry metrics;  // empty unless --metrics-out
+      bool ok = false;
     };
-    const auto base_config = config;
-    const auto cells = core::parallel_map<Cell>(
-        runs,
-        [&](std::size_t i) {
-          core::ElectionConfig cell_config = base_config;
-          cell_config.seed = base_config.seed + i;
-          telemetry::TelemetryObserver cell_telemetry;
-          if (want_metrics) {
-            cell_config.extra_observers.push_back(&cell_telemetry);
-          }
-          const auto m = core::measure(*ring, cell_config);
-          Cell cell{cell_config.seed,
-                    sim::outcome_name(m.result.outcome),
-                    m.result.leader_pid(),
-                    m.result.stats,
-                    m.ok(),
-                    {}};
-          if (want_metrics) cell.metrics = cell_telemetry.metrics();
-          return cell;
-        },
-        workers);
-    support::Table table({"seed", "outcome", "leader", "steps", "msgs",
-                          "time", "peak bits", "verified"});
-    bool all_ok = true;
-    for (const Cell& c : cells) {
-      all_ok = all_ok && c.ok;
-      table.row()
-          .cell(c.seed)
-          .cell(c.outcome)
-          .cell(c.leader ? "p" + std::to_string(*c.leader) : "-")
-          .cell(c.stats.steps)
-          .cell(c.stats.messages_sent)
-          .cell(c.stats.time_units, 0)
-          .cell(c.stats.peak_space_bits)
-          .cell(c.ok ? "yes" : "NO");
+    std::vector<Row> rows;
+    if (!campaign_mode) {
+      // Pre-sized row store: cells land at their own index from whichever
+      // worker ran them — disjoint writes, no synchronization needed.
+      rows.resize(runs);
+      sweep_config.cell_sink = [&rows](const core::CellView& cell) {
+        rows[cell.cell] =
+            Row{cell.election_seed, cell.outcome, cell.leader, cell.stats,
+                cell.verified};
+      };
     }
+
+    core::CampaignResult campaign;
+    try {
+      campaign = core::run_campaign(sweep_config);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n";
+      return EXIT_FAILURE;
+    }
+    const bool all_ok = !verify || campaign.all_verified();
+
     if (want_metrics) {
-      // Registries merge by metric name: the document aggregates the whole
-      // sweep no matter how the runs were spread over workers.
-      telemetry::MetricsRegistry merged;
-      for (const Cell& c : cells) merged.merge(c.metrics);
       std::ofstream out(metrics_out);
       if (!out) {
         std::cerr << "cannot open " << metrics_out << "\n";
         return EXIT_FAILURE;
       }
-      telemetry::write_metrics_json(out, merged);
+      telemetry::write_metrics_json(out, campaign.metrics);
     }
+
+    if (campaign_mode) {
+      if (json) {
+        support::JsonWriter campaign_json(std::cout);
+        campaign_json.begin_object();
+        campaign_json.key("cells").value(
+            static_cast<std::uint64_t>(campaign.cells));
+        campaign_json.key("workers").value(
+            static_cast<std::uint64_t>(campaign.workers));
+        campaign_json.key("backend").value(
+            core::campaign_backend_name(campaign.backend));
+        campaign_json.key("outcomes");
+        campaign_json.begin_object();
+        for (std::size_t o = 0; o < campaign.outcome_counts.size(); ++o) {
+          campaign_json.key(sim::outcome_name(static_cast<sim::Outcome>(o)))
+              .value(campaign.outcome_counts[o]);
+        }
+        campaign_json.end_object();
+        campaign_json.key("verify_failures")
+            .value(campaign.verify_failures);
+        campaign_json.key("elapsed_seconds")
+            .value(campaign.elapsed_seconds);
+        campaign_json.key("elections_per_second")
+            .value(campaign.elections_per_second);
+        campaign_json.key("quantiles");
+        campaign_json.begin_object();
+        for (const char* stat : {"steps", "messages_sent", "time_units",
+                                 "peak_space_bits", "label_comparisons"}) {
+          campaign_json.key(stat);
+          campaign_json.begin_object();
+          campaign_json.key("p50").value(campaign.quantile(stat, 0.50));
+          campaign_json.key("p90").value(campaign.quantile(stat, 0.90));
+          campaign_json.key("p99").value(campaign.quantile(stat, 0.99));
+          campaign_json.key("max").value(campaign.quantile(stat, 1.0));
+          campaign_json.end_object();
+        }
+        campaign_json.end_object();
+        campaign_json.end_object();
+        std::cout << '\n';
+      } else {
+        std::cout << "campaign: " << campaign.cells << " cells, "
+                  << campaign.workers << " workers, "
+                  << core::campaign_backend_name(campaign.backend)
+                  << " backend\n";
+        std::cout << "outcomes:";
+        for (std::size_t o = 0; o < campaign.outcome_counts.size(); ++o) {
+          if (campaign.outcome_counts[o] == 0) continue;
+          std::cout << " " << sim::outcome_name(static_cast<sim::Outcome>(o))
+                    << "=" << campaign.outcome_counts[o];
+        }
+        std::cout << "\n";
+        if (verify) {
+          std::cout << "verified: "
+                    << (all_ok ? "all"
+                               : std::to_string(campaign.verify_failures) +
+                                     " FAILURES")
+                    << "\n";
+        }
+        support::Table table({"stat", "p50", "p90", "p99", "max"});
+        for (const char* stat : {"steps", "messages_sent", "time_units",
+                                 "peak_space_bits", "label_comparisons"}) {
+          table.row()
+              .cell(stat)
+              .cell(campaign.quantile(stat, 0.50), 1)
+              .cell(campaign.quantile(stat, 0.90), 1)
+              .cell(campaign.quantile(stat, 0.99), 1)
+              .cell(campaign.quantile(stat, 1.0), 1);
+        }
+        table.print(std::cout);
+        std::cout << "throughput: "
+                  << static_cast<std::uint64_t>(
+                         campaign.elections_per_second)
+                  << " elections/sec (" << campaign.elapsed_seconds
+                  << " s)\n";
+      }
+      return all_ok ? EXIT_SUCCESS : EXIT_FAILURE;
+    }
+
     if (json) {
       // One object per run, each carrying the complete Stats document.
       support::JsonWriter sweep_json(std::cout);
       sweep_json.begin_array();
-      for (const Cell& c : cells) {
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& c = rows[i];
         sweep_json.begin_object();
+        sweep_json.key("cell").value(static_cast<std::uint64_t>(i));
         sweep_json.key("seed").value(c.seed);
-        sweep_json.key("outcome").value(c.outcome);
+        sweep_json.key("outcome").value(sim::outcome_name(c.outcome));
         if (c.leader.has_value()) {
           sweep_json.key("leader").value(
               static_cast<std::uint64_t>(*c.leader));
@@ -363,11 +485,29 @@ int main(int argc, char** argv) {
       sweep_json.end_array();
       std::cout << '\n';
     } else {
+      support::Table table({"cell", "seed", "outcome", "leader", "steps",
+                            "msgs", "time", "peak bits", "verified"});
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& c = rows[i];
+        table.row()
+            .cell(i)
+            .cell(c.seed)
+            .cell(sim::outcome_name(c.outcome))
+            .cell(c.leader ? "p" + std::to_string(*c.leader) : "-")
+            .cell(c.stats.steps)
+            .cell(c.stats.messages_sent)
+            .cell(c.stats.time_units, 0)
+            .cell(c.stats.peak_space_bits)
+            .cell(verify ? (c.ok ? "yes" : "NO") : "-");
+      }
       table.print(std::cout);
-      std::cout << "\nsweep: " << runs << " runs, "
-                << (workers == 0 ? core::default_worker_count() : workers)
+      std::cout << "\nsweep: " << runs << " runs, " << campaign.workers
                 << " workers, "
-                << (all_ok ? "all verified" : "VERIFICATION FAILURES")
+                << core::campaign_backend_name(campaign.backend)
+                << " backend, "
+                << (verify
+                        ? (all_ok ? "all verified" : "VERIFICATION FAILURES")
+                        : "verification off")
                 << "\n";
     }
     return all_ok ? EXIT_SUCCESS : EXIT_FAILURE;

@@ -1,0 +1,210 @@
+#include "core/batch_engine.hpp"
+
+#include "words/label.hpp"
+
+namespace hring::core {
+
+template <class Algo>
+void BatchRunner<Algo>::configure(const BatchConfig& config) {
+  HRING_EXPECTS(config.slots >= 1);
+  HRING_EXPECTS(config.n >= 1);
+  config_ = config;
+  n_ = config.n;
+  algo_.configure(config.slots, n_, config.algorithm);
+  links_.reset(config.slots * n_);
+  slots_.clear();
+  slots_.resize(config.slots);
+  age_.assign(config.slots * n_, 0);
+  free_.clear();
+  // LIFO free list, lowest slot on top: a lightly loaded runner keeps
+  // re-using the same few slots (warm caches) instead of striding the
+  // whole arena.
+  for (std::size_t s = config.slots; s-- > 0;) free_.push_back(s);
+  active_count_ = 0;
+  enabled_buf_.reserve(n_);
+  chosen_buf_.reserve(n_);
+}
+
+template <class Algo>
+void BatchRunner<Algo>::activate(std::size_t cell,
+                                 const ring::LabeledRing& ring,
+                                 std::uint64_t election_seed,
+                                 std::optional<sim::ProcessId> expected_leader) {
+  HRING_EXPECTS(!free_.empty());
+  HRING_EXPECTS(ring.size() == n_);
+  const std::size_t s = free_.back();
+  free_.pop_back();
+  ++active_count_;
+
+  Slot& slot = slots_[s];
+  slot.active = true;
+  slot.cell = cell;
+  slot.step = 0;
+  slot.label_bits = ring.label_bits();
+  slot.stats.reset(n_);
+  slot.scheduler.reset(config_.scheduler, election_seed);
+  slot.expected_leader = expected_leader;
+
+  algo_.reset_slot(s, ring);
+  const std::size_t base = s * n_;
+  for (std::size_t pid = 0; pid < n_; ++pid) {
+    links_.reset_link(base + pid);
+    age_[base + pid] = 0;
+    // Initial-space accounting, as in ExecutionCore::begin_run.
+    slot.stats.peak_space_bits = std::max(
+        slot.stats.peak_space_bits,
+        algo_.space_bits(base + pid, slot.label_bits));
+  }
+}
+
+template <class Algo>
+bool BatchRunner<Algo>::step_slot(std::size_t s) {
+  Slot& slot = slots_[s];
+  const std::size_t base = s * n_;
+
+  enabled_buf_.clear();
+  for (sim::ProcessId pid = 0; pid < n_; ++pid) {
+    const std::size_t g = base + pid;
+    const sim::Message* head = links_.head(in_link(s, pid));
+    if (!algo_.spec().halted.test(g) && algo_.enabled(g, head)) {
+      enabled_buf_.push_back(pid);
+    } else {
+      age_[g] = 0;
+    }
+  }
+  if (enabled_buf_.empty()) return false;
+
+  chosen_buf_.clear();
+  for (const sim::ProcessId pid : enabled_buf_) {
+    if (age_[base + pid] >= config_.fairness_bound) {
+      chosen_buf_.push_back(pid);
+    }
+  }
+  slot.scheduler.select(enabled_buf_, chosen_buf_);
+  std::sort(chosen_buf_.begin(), chosen_buf_.end());
+  chosen_buf_.erase(std::unique(chosen_buf_.begin(), chosen_buf_.end()),
+                    chosen_buf_.end());
+  HRING_ASSERT(!chosen_buf_.empty());
+
+  for (const sim::ProcessId pid : chosen_buf_) {
+    const std::size_t g = base + pid;
+    // Recompute the head: an earlier firing in this step may have changed
+    // the in-link — but only by appending, never by popping another
+    // process's head, so the head seen here is the one γ prescribes
+    // (same argument as StepEngine::step_once).
+    const sim::Message* head = links_.head(in_link(s, pid));
+    HRING_ASSERT(!algo_.spec().halted.test(g));
+    HRING_ASSERT(algo_.enabled(g, head));
+    election::BatchFireContext ctx(slot.stats, links_, in_link(s, pid),
+                                   out_link(s, pid), pid, slot.label_bits,
+                                   head);
+    algo_.fire(g, head, ctx);
+    ++slot.stats.actions;
+    slot.stats.peak_space_bits = std::max(
+        slot.stats.peak_space_bits, algo_.space_bits(g, slot.label_bits));
+    age_[g] = 0;
+  }
+  for (const sim::ProcessId pid : enabled_buf_) {
+    if (!std::binary_search(chosen_buf_.begin(), chosen_buf_.end(), pid)) {
+      ++age_[base + pid];
+    }
+  }
+  ++slot.step;
+  slot.stats.steps = slot.step;
+  slot.stats.time_units = static_cast<double>(slot.step);
+  return true;
+}
+
+template <class Algo>
+bool BatchRunner<Algo>::slot_is_clean(std::size_t s) const {
+  const std::size_t base = s * n_;
+  for (std::size_t pid = 0; pid < n_; ++pid) {
+    if (!algo_.spec().halted.test(base + pid)) return false;
+  }
+  for (std::size_t pid = 0; pid < n_; ++pid) {
+    if (!links_.empty(base + pid)) return false;
+  }
+  return true;
+}
+
+template <class Algo>
+BatchCellResult BatchRunner<Algo>::finish_slot(std::size_t s,
+                                               sim::Outcome outcome) {
+  Slot& slot = slots_[s];
+  const std::size_t base = s * n_;
+  const election::SpecPlanes& spec = algo_.spec();
+
+  // Close the statistics (make_result's epilogue; label_comparisons was
+  // accumulated per step in step_all).
+  for (std::size_t pid = 0; pid < n_; ++pid) {
+    slot.stats.peak_link_occupancy = std::max(
+        slot.stats.peak_link_occupancy, links_.high_water(base + pid));
+  }
+
+  BatchCellResult result;
+  result.cell = slot.cell;
+  result.outcome = outcome;
+  result.stats = &slot.stats;
+
+  std::size_t leaders = 0;
+  for (std::size_t pid = 0; pid < n_; ++pid) {
+    if (spec.leader.test(base + pid)) {
+      ++leaders;
+      result.leader = pid;
+    }
+  }
+  if (leaders != 1) result.leader.reset();
+
+  if (config_.verify) {
+    // Terminal-configuration checks, mirroring verify_election (raw label
+    // compares: engine self-checks never count toward the statistic).
+    bool ok = outcome == sim::Outcome::kTerminated && leaders == 1;
+    if (ok) {
+      const sim::Label leader_label = spec.id[base + *result.leader];
+      for (std::size_t pid = 0; ok && pid < n_; ++pid) {
+        const std::size_t g = base + pid;
+        ok = spec.done.test(g) && spec.halted.test(g) &&
+             spec.has_leader.test(g) &&
+             spec.leader_label[g].value() == leader_label.value();
+      }
+      if (ok && config_.check_true_leader) {
+        ok = slot.expected_leader.has_value() &&
+             *result.leader == *slot.expected_leader;
+      }
+    }
+    result.verified = ok;
+  }
+
+  slot.active = false;
+  --active_count_;
+  free_.push_back(s);
+  return result;
+}
+
+template <class Algo>
+void BatchRunner<Algo>::step_all(std::vector<BatchCellResult>& done) {
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (!slots_[s].active) continue;
+    Slot& slot = slots_[s];
+    if (slot.step >= config_.budget) {
+      done.push_back(finish_slot(s, sim::Outcome::kBudgetExhausted));
+      continue;
+    }
+    // Slots interleave on one thread, so the thread-local comparison
+    // counter is sliced into per-slot deltas around each slot's step.
+    const std::uint64_t comparisons_before = sim::Label::comparison_count();
+    const bool progressed = step_slot(s);
+    slot.stats.label_comparisons +=
+        sim::Label::comparison_count() - comparisons_before;
+    if (!progressed) {
+      done.push_back(finish_slot(s, slot_is_clean(s)
+                                        ? sim::Outcome::kTerminated
+                                        : sim::Outcome::kDeadlock));
+    }
+  }
+}
+
+template class BatchRunner<election::BatchAk>;
+template class BatchRunner<election::BatchChangRoberts>;
+
+}  // namespace hring::core

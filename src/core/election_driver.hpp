@@ -19,6 +19,7 @@
 #include "sim/observer.hpp"
 #include "sim/run_result.hpp"
 #include "sim/scheduler.hpp"
+#include "support/rng.hpp"
 
 namespace hring::core {
 
@@ -76,5 +77,33 @@ struct ElectionConfig {
 /// statistics, per-process final states and any spec violations.
 [[nodiscard]] sim::RunResult run_election(const ring::LabeledRing& ring,
                                           const ElectionConfig& config);
+
+/// Per-cell seeds derived from one campaign seed.
+struct CellSeeds {
+  /// Seeds the ring generator when the campaign draws a fresh ring per
+  /// cell (RingSource kinds other than kFixed).
+  std::uint64_t ring_seed = 0;
+  /// Becomes ElectionConfig::seed for the cell (randomized schedulers /
+  /// delay models).
+  std::uint64_t election_seed = 0;
+};
+
+/// The library's one seed convention: every replicated experiment —
+/// campaigns (core/campaign.hpp), the CLI sweep, the grid benches — holds
+/// a single campaign-level seed and derives each cell's seeds from
+/// (campaign_seed, cell index) alone. Derivation is two draws from a
+/// splitmix64 stream whose state mixes the index with an odd constant, so
+/// per-cell seeds are decorrelated, any cell is reproducible in isolation
+/// ("replay cell 17" needs only the campaign seed and 17), and results are
+/// independent of worker count and execution order.
+[[nodiscard]] inline CellSeeds derive_cell_seeds(std::uint64_t campaign_seed,
+                                                 std::size_t cell) {
+  std::uint64_t state =
+      campaign_seed ^ (0xA0761D6478BD642FULL * (static_cast<std::uint64_t>(cell) + 1));
+  CellSeeds seeds;
+  seeds.ring_seed = support::splitmix64(state);
+  seeds.election_seed = support::splitmix64(state);
+  return seeds;
+}
 
 }  // namespace hring::core

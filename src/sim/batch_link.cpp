@@ -1,0 +1,40 @@
+#include "sim/batch_link.hpp"
+
+namespace hring::sim {
+
+namespace {
+
+[[nodiscard]] std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+void LinkPlane::reset(std::size_t links, std::size_t min_capacity) {
+  links_ = links;
+  if (stride_ < round_up_pow2(min_capacity < 2 ? 2 : min_capacity)) {
+    stride_ = round_up_pow2(min_capacity < 2 ? 2 : min_capacity);
+  }
+  buf_.assign(links_ * stride_, Message{});
+  head_.assign(links_, 0);
+  count_.assign(links_, 0);
+  high_.assign(links_, 0);
+}
+
+void LinkPlane::grow() {
+  const std::size_t new_stride = stride_ == 0 ? 8 : stride_ * 2;
+  std::vector<Message> next(links_ * new_stride);
+  for (std::size_t link = 0; link < links_; ++link) {
+    for (std::size_t i = 0; i < count_[link]; ++i) {
+      next[link * new_stride + i] =
+          buf_[link * stride_ + ((head_[link] + i) & (stride_ - 1))];
+    }
+    head_[link] = 0;
+  }
+  buf_ = std::move(next);
+  stride_ = new_stride;
+}
+
+}  // namespace hring::sim

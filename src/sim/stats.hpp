@@ -49,6 +49,11 @@ struct Stats {
   /// Faults injected by an attached FaultModel (0 when links are honest).
   std::uint64_t faults_injected = 0;
 
+  /// Field-wise equality: the batch engine's correctness obligation is
+  /// *byte-identical* statistics against the scalar engine, and the
+  /// cross-check tests state it through this operator.
+  friend bool operator==(const Stats&, const Stats&) = default;
+
   [[nodiscard]] std::string summary() const;
 
   /// Emits the statistics as one JSON object value (the writer must be

@@ -1,0 +1,67 @@
+// Dense bit planes for the batch execution arena.
+//
+// The batch engine keeps one Boolean per (ring, node) cell — INIT, isLeader,
+// done, halted, … — for hundreds of independent rings at once. Storing each
+// plane as packed 64-bit words keeps the whole per-node state of a batch in
+// a handful of cache lines (the BitVectorState idiom: wide words, one plane
+// per variable, no per-node objects).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace hring::support {
+
+class BitPlane {
+ public:
+  /// Resizes to `bits` cells, all false. Keeps the word buffer's capacity,
+  /// so a recycled arena re-sizes without touching the allocator.
+  void reset(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  // hring-lint: hot-path
+  [[nodiscard]] bool test(std::size_t i) const {
+    HRING_EXPECTS(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1U;
+  }
+
+  // hring-lint: hot-path
+  void set(std::size_t i) {
+    HRING_EXPECTS(i < bits_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  // hring-lint: hot-path
+  void clear(std::size_t i) {
+    HRING_EXPECTS(i < bits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  // hring-lint: hot-path
+  void assign(std::size_t i, bool v) {
+    if (v) {
+      set(i);
+    } else {
+      clear(i);
+    }
+  }
+
+  /// Clears the cells [begin, begin + count) — one slot's worth of state
+  /// when a batch slot is recycled for a new ring.
+  void clear_range(std::size_t begin, std::size_t count) {
+    for (std::size_t i = begin; i < begin + count; ++i) clear(i);
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace hring::support

@@ -25,6 +25,32 @@ void Histogram::merge(const Histogram& other) {
   if (other.max_ > max_) max_ = other.max_;
 }
 
+double histogram_quantile(const Histogram& hist, double q) {
+  HRING_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (hist.count() == 0) return 0.0;
+  const double target = q * static_cast<double>(hist.count());
+  std::uint64_t cum = 0;
+  for (std::size_t slot = 0; slot < hist.slots(); ++slot) {
+    const std::uint64_t in_bucket = hist.bucket(slot);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(in_bucket) >= target) {
+      double lo = slot == 0 ? hist.min() : hist.edges()[slot - 1];
+      double hi =
+          slot == hist.slots() - 1 ? hist.max() : hist.edges()[slot];
+      if (lo < hist.min()) lo = hist.min();
+      if (hi > hist.max()) hi = hist.max();
+      if (hi < lo) hi = lo;
+      double within =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      if (within < 0.0) within = 0.0;
+      if (within > 1.0) within = 1.0;
+      return lo + (hi - lo) * within;
+    }
+    cum += in_bucket;
+  }
+  return hist.max();
+}
+
 CounterId MetricsRegistry::counter(std::string_view name) {
   for (std::size_t i = 0; i < counters_.size(); ++i) {
     if (counters_[i].name == name) return CounterId{i};

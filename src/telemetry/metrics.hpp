@@ -119,6 +119,14 @@ class Histogram {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Approximate q-quantile (0 <= q <= 1) of a histogram's recorded
+/// distribution: linear interpolation within the bucket containing the
+/// target rank, with the end buckets tightened to the observed min/max.
+/// Exact at q=0 (min) and q=1 (max); interior quantiles are exact whenever
+/// each bucket holds a single value (e.g. unit-width integer buckets).
+/// Returns 0 for an empty histogram.
+[[nodiscard]] double histogram_quantile(const Histogram& hist, double q);
+
 /// Named counters and histograms for one run (or one worker's worth of
 /// runs). Registration is find-or-create by name; ids stay valid for the
 /// registry's lifetime (tables only grow).

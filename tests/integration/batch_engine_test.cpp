@@ -1,0 +1,160 @@
+// The batch engine's correctness obligation: byte-identical per-cell
+// Stats against the scalar StepEngine for every covered configuration.
+//
+// A campaign is run twice over the same cell grid — once on the batch
+// backend (several rings interleaved per arena, to exercise slot
+// recycling) and once on the scalar backend — and every per-cell field
+// is compared, including the full sim::Stats (defaulted operator==, so
+// any divergence in steps, actions, message/bit accounting, space peaks
+// or label-comparison counts fails the grid cell that produced it).
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "election/algorithm.hpp"
+#include "sim/run_result.hpp"
+
+namespace hring {
+namespace {
+
+using core::CampaignBackend;
+using core::SweepConfig;
+using election::AlgorithmId;
+
+struct CellRecord {
+  std::uint64_t election_seed = 0;
+  sim::Outcome outcome = sim::Outcome::kDeadlock;
+  std::optional<sim::ProcessId> leader;
+  bool verified = false;
+  sim::Stats stats;
+};
+
+std::vector<CellRecord> run_cells(SweepConfig config, CampaignBackend backend,
+                                  std::size_t workers) {
+  config.backend = backend;
+  config.workers = workers;
+  std::vector<CellRecord> out(config.cells);
+  config.cell_sink = [&out](const core::CellView& view) {
+    out[view.cell] = CellRecord{view.election_seed, view.outcome, view.leader,
+                                view.verified, view.stats};
+  };
+  const auto result = core::run_campaign(config);
+  EXPECT_EQ(result.backend, backend);
+  EXPECT_EQ(result.cells, config.cells);
+  return out;
+}
+
+void expect_identical(const std::vector<CellRecord>& batch,
+                      const std::vector<CellRecord>& scalar,
+                      const std::string& where) {
+  ASSERT_EQ(batch.size(), scalar.size()) << where;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::string at = where + " cell " + std::to_string(i);
+    EXPECT_EQ(batch[i].election_seed, scalar[i].election_seed) << at;
+    EXPECT_EQ(batch[i].outcome, scalar[i].outcome) << at;
+    EXPECT_EQ(batch[i].leader, scalar[i].leader) << at;
+    EXPECT_EQ(batch[i].verified, scalar[i].verified) << at;
+    EXPECT_EQ(batch[i].stats, scalar[i].stats) << at << " (Stats diverged)";
+  }
+}
+
+constexpr core::SchedulerKind kAllSchedulers[] = {
+    core::SchedulerKind::kSynchronous,  core::SchedulerKind::kRoundRobin,
+    core::SchedulerKind::kRandomSingle, core::SchedulerKind::kRandomSubset,
+    core::SchedulerKind::kConvoy,
+};
+
+TEST(BatchEngineCrossCheck, AkGridMatchesScalarEngine) {
+  for (std::size_t k = 1; k <= 3; ++k) {
+    for (std::size_t n = 2; n <= 7; ++n) {
+      for (const auto scheduler : kAllSchedulers) {
+        SweepConfig config;
+        config.election.algorithm = {AlgorithmId::kAk, k, false};
+        config.election.scheduler = scheduler;
+        config.source = core::RingSource::random_asymmetric(n);
+        config.cells = 5;
+        config.seed = 0xA5EED + 1000 * k + 10 * n +
+                      static_cast<std::uint64_t>(scheduler);
+        config.batch_slots = 3;  // fewer slots than cells: recycle slots
+        config.check_true_leader = true;
+
+        const auto batch = run_cells(config, CampaignBackend::kBatch, 2);
+        const auto scalar = run_cells(config, CampaignBackend::kScalar, 1);
+        expect_identical(batch, scalar,
+                         "Ak k=" + std::to_string(k) + " n=" +
+                             std::to_string(n) + " sched=" +
+                             core::scheduler_kind_name(scheduler));
+        for (const auto& cell : batch) {
+          EXPECT_EQ(cell.outcome, sim::Outcome::kTerminated);
+          EXPECT_TRUE(cell.verified);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchEngineCrossCheck, ChangRobertsGridMatchesScalarEngine) {
+  for (std::size_t n = 2; n <= 7; ++n) {
+    for (const auto scheduler : kAllSchedulers) {
+      SweepConfig config;
+      config.election.algorithm = {AlgorithmId::kChangRoberts, 1, false};
+      config.election.scheduler = scheduler;
+      config.source = core::RingSource::distinct(n);
+      config.cells = 5;
+      config.seed = 0xC5EED + 10 * n + static_cast<std::uint64_t>(scheduler);
+      config.batch_slots = 2;
+
+      const auto batch = run_cells(config, CampaignBackend::kBatch, 2);
+      const auto scalar = run_cells(config, CampaignBackend::kScalar, 1);
+      expect_identical(batch, scalar,
+                       "CR n=" + std::to_string(n) + " sched=" +
+                           core::scheduler_kind_name(scheduler));
+      for (const auto& cell : batch) {
+        EXPECT_EQ(cell.outcome, sim::Outcome::kTerminated);
+        EXPECT_TRUE(cell.verified);
+      }
+    }
+  }
+}
+
+TEST(BatchEngineCrossCheck, BudgetExhaustionMatchesScalarEngine) {
+  // A budget that truncates mid-election must cut both engines at the
+  // same step with the same partial Stats.
+  SweepConfig config;
+  config.election.algorithm = {AlgorithmId::kChangRoberts, 1, false};
+  config.election.scheduler = core::SchedulerKind::kRandomSingle;
+  config.election.budget = 3;
+  config.source = core::RingSource::distinct(6);
+  config.cells = 8;
+  config.seed = 0xB0D9ED;
+  config.verify = false;  // truncated runs have no terminal state to check
+
+  const auto batch = run_cells(config, CampaignBackend::kBatch, 1);
+  const auto scalar = run_cells(config, CampaignBackend::kScalar, 1);
+  expect_identical(batch, scalar, "budget=3");
+  for (const auto& cell : batch) {
+    EXPECT_EQ(cell.outcome, sim::Outcome::kBudgetExhausted);
+    EXPECT_EQ(cell.stats.steps, 3u);
+  }
+}
+
+TEST(BatchEngineCrossCheck, FixedRingSourceMatchesScalarEngine) {
+  const auto ring = ring::LabeledRing::from_values({2, 1, 3, 1, 2, 1});
+  SweepConfig config;
+  config.election.algorithm = {AlgorithmId::kAk, 3, false};
+  config.election.scheduler = core::SchedulerKind::kRandomSubset;
+  config.source = core::RingSource::fixed(ring);
+  config.cells = 12;
+  config.seed = 0xF15ED;
+  config.batch_slots = 4;
+  config.check_true_leader = true;
+
+  const auto batch = run_cells(config, CampaignBackend::kBatch, 2);
+  const auto scalar = run_cells(config, CampaignBackend::kScalar, 2);
+  expect_identical(batch, scalar, "fixed ring");
+}
+
+}  // namespace
+}  // namespace hring

@@ -1,0 +1,71 @@
+// CellQueue: the lock-free span dispenser feeding campaign workers. The
+// contract is exactly-once partition of [0, cells) into half-open spans,
+// under any interleaving of concurrent pops.
+#include "core/cell_queue.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hring::core {
+namespace {
+
+TEST(CellQueue, SequentialPopsPartitionTheRange) {
+  CellQueue queue(100, /*workers=*/1, /*grain=*/7);
+  EXPECT_EQ(queue.grain(), 7u);
+
+  std::vector<bool> claimed(100, false);
+  std::size_t spans = 0;
+  for (auto span = queue.pop(); !span.empty(); span = queue.pop()) {
+    ++spans;
+    EXPECT_LE(span.end - span.begin, 7u);
+    for (std::size_t i = span.begin; i < span.end; ++i) {
+      EXPECT_LT(i, claimed.size());
+      EXPECT_FALSE(claimed[i]);
+      claimed[i] = true;
+    }
+  }
+  EXPECT_EQ(spans, (100 + 6) / 7);
+  for (const bool c : claimed) EXPECT_TRUE(c);
+  EXPECT_TRUE(queue.pop().empty());  // drained queues stay drained
+}
+
+TEST(CellQueue, ConcurrentPopsClaimEveryCellExactlyOnce) {
+  constexpr std::size_t kCells = 20'000;
+  CellQueue queue(kCells, /*workers=*/4, /*grain=*/3);
+
+  std::vector<std::atomic<std::uint32_t>> claims(kCells);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&queue, &claims] {
+      for (auto span = queue.pop(); !span.empty(); span = queue.pop()) {
+        for (std::size_t i = span.begin; i < span.end; ++i) {
+          claims[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < kCells; ++i) {
+    ASSERT_EQ(claims[i].load(), 1u) << "cell " << i;
+  }
+}
+
+TEST(CellQueue, AutoGrainScalesWithCellsPerWorker) {
+  // grain 0 = auto: cells / (8 * workers), clamped to [1, 1024].
+  EXPECT_EQ(CellQueue(16, 4, 0).grain(), 1u);
+  EXPECT_EQ(CellQueue(1'000'000, 2, 0).grain(), 1024u);
+  const std::size_t mid = CellQueue(6'400, 4, 0).grain();
+  EXPECT_EQ(mid, 200u);
+}
+
+TEST(CellQueue, EmptyQueueYieldsEmptySpans) {
+  CellQueue queue(0, 4, 0);
+  EXPECT_TRUE(queue.pop().empty());
+  EXPECT_TRUE(queue.pop().empty());
+}
+
+}  // namespace
+}  // namespace hring::core

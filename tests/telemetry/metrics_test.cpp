@@ -152,6 +152,53 @@ TEST(MetricsRegistry, MergeFromParallelWorkers) {
   EXPECT_DOUBLE_EQ(latency->max(), 8.0);
 }
 
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  Histogram h("h", {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 0.0);
+}
+
+TEST(HistogramQuantile, UnitWidthIntegerBuckets) {
+  // Unit-width buckets hold a single integer each (the campaign
+  // histograms use this layout below 256): endpoints are exact and every
+  // interior quantile lands inside the unit bucket of its rank.
+  std::vector<double> edges;
+  for (int e = 1; e <= 16; ++e) edges.push_back(static_cast<double>(e));
+  Histogram h("h", edges);
+  for (int v = 1; v <= 10; ++v) h.record(static_cast<double>(v));
+
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 10.0);
+  EXPECT_GE(histogram_quantile(h, 0.5), 5.0);
+  EXPECT_LE(histogram_quantile(h, 0.5), 6.0);
+  EXPECT_GE(histogram_quantile(h, 0.9), 9.0);
+  EXPECT_LE(histogram_quantile(h, 0.9), 10.0);
+}
+
+TEST(HistogramQuantile, EndBucketsTightenToObservedExtremes) {
+  // All mass in the overflow bucket: every quantile must stay inside
+  // [min, max], not run off to the (unbounded) bucket edges.
+  Histogram h("h", {1.0, 2.0});
+  h.record(100.0);
+  h.record(200.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 200.0);
+  EXPECT_GE(histogram_quantile(h, 0.5), 100.0);
+  EXPECT_LE(histogram_quantile(h, 0.5), 200.0);
+}
+
+TEST(HistogramQuantile, MonotoneInQ) {
+  Histogram h("h", {1.0, 2.0, 4.0, 8.0, 16.0});
+  for (int v = 0; v < 20; ++v) h.record(static_cast<double>(v));
+  double prev = histogram_quantile(h, 0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = histogram_quantile(h, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
 TEST(MetricsRegistry, ToJsonSchema) {
   MetricsRegistry reg;
   reg.add(reg.counter("fired"), 2);
