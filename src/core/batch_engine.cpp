@@ -57,6 +57,7 @@ void BatchRunner<Algo>::activate(std::size_t cell,
   }
 }
 
+// hring-lint: hot-path
 template <class Algo>
 bool BatchRunner<Algo>::step_slot(std::size_t s) {
   Slot& slot = slots_[s];
@@ -181,6 +182,7 @@ BatchCellResult BatchRunner<Algo>::finish_slot(std::size_t s,
   return result;
 }
 
+// hring-lint: hot-path
 template <class Algo>
 void BatchRunner<Algo>::step_all(std::vector<BatchCellResult>& done) {
   for (std::size_t s = 0; s < slots_.size(); ++s) {

@@ -60,7 +60,9 @@ class CellQueue {
  private:
   std::size_t cells_;
   std::size_t grain_;
-  std::atomic<std::size_t> next_{0};
+  // Every worker fetch_adds this cursor; keep it off the cache line that
+  // holds the read-only cells_/grain_ configuration.
+  alignas(64) std::atomic<std::size_t> next_{0};
 };
 
 }  // namespace hring::core

@@ -33,6 +33,7 @@ bool AkProcess::enabled(const Message* head) const {
   return head != nullptr;
 }
 
+// hring-lint: hot-path
 std::size_t& AkProcess::count_slot(Label::rep_type value) {
   for (auto& [label, count] : counts_) {
     if (label == value) return count;
@@ -41,6 +42,7 @@ std::size_t& AkProcess::count_slot(Label::rep_type value) {
   return counts_.back().second;
 }
 
+// hring-lint: hot-path
 bool AkProcess::append_and_test(Label x) {
   string_.push_back(x);
   max_count_ = std::max(max_count_, ++count_slot(x.value()));

@@ -36,6 +36,8 @@ using sim::ProcessId;
 [[nodiscard]] bool leader_predicate(const words::LabelSequence& sigma,
                                     std::size_t k);
 
+// hring-algorithm: Ak space=(2*k+1)*n*b+2*b+3
+// (Theorem 2: A_k elects in K_k with (2k+1)·n·b + 2b + 3 bits per process.)
 class AkProcess final : public Process {
  public:
   /// Requires k >= 1: the multiplicity bound the class A ∩ K_k promises.
@@ -66,17 +68,21 @@ class AkProcess final : public Process {
   /// Occurrence count of `value`, creating a zero entry on first sight.
   [[nodiscard]] std::size_t& count_slot(Label::rep_type value);
 
+  // hring-state: excluded(a-priori knowledge: every process knows k)
   std::size_t k_;
   bool init_ = true;
   /// p.string plus its incrementally-maintained border array (the border
   /// array is an accelerator, not algorithm state: srp could be recomputed
   /// from the string at every step with identical behaviour).
+  // hring-state: bits=(2*k+1)*n*b
   words::IncrementalPeriod string_;
   /// Occurrence count per label, for the 2k+1 threshold. A flat vector:
   /// a ring holds at most n distinct labels, so the linear scan beats a
   /// node-based map on the per-token hot path, and clear() keeps capacity
   /// across the model checker's decode-based restores.
+  // hring-state: excluded(accelerator: recomputable from string_)
   std::vector<std::pair<Label::rep_type, std::size_t>> counts_;
+  // hring-state: excluded(accelerator: recomputable from string_)
   std::size_t max_count_ = 0;
 };
 

@@ -23,6 +23,7 @@ void BatchChangRoberts::reset_slot(std::size_t slot,
   spec_.reset_slot(slot * n_, ring);
 }
 
+// hring-lint: hot-path
 void BatchChangRoberts::fire(std::size_t g, const sim::Message* head,
                              BatchFireContext& ctx) {
   if (spec_.init.test(g)) {
@@ -99,6 +100,7 @@ void BatchAk::reset_slot(std::size_t slot, const ring::LabeledRing& ring) {
   }
 }
 
+// hring-lint: hot-path
 std::size_t& BatchAk::count_slot(Node& node, sim::Label::rep_type value) {
   for (auto& [label, count] : node.counts) {
     if (label == value) return count;
@@ -107,6 +109,7 @@ std::size_t& BatchAk::count_slot(Node& node, sim::Label::rep_type value) {
   return node.counts.back().second;
 }
 
+// hring-lint: hot-path
 bool BatchAk::append_and_test(Node& node, sim::Label x) {
   node.string.push_back(x);
   node.max_count = std::max(node.max_count, ++count_slot(node, x.value()));
@@ -118,6 +121,7 @@ bool BatchAk::append_and_test(Node& node, sim::Label x) {
          0;
 }
 
+// hring-lint: hot-path
 void BatchAk::fire(std::size_t g, const sim::Message* head,
                    BatchFireContext& ctx) {
   if (spec_.init.test(g)) {

@@ -40,6 +40,9 @@ enum class BkState : std::uint8_t {
 
 [[nodiscard]] const char* bk_state_name(BkState state);
 
+// hring-algorithm: Bk space=2*log_k+3*b+5
+// (Theorem 4: B_k elects in U* ∩ K_k with 2⌈log k⌉ + 3b + 5 bits per
+// process.)
 class BkProcess final : public Process {
  public:
   /// One row of the phase history (Figure 1 reproduction): the state of
@@ -85,15 +88,21 @@ class BkProcess final : public Process {
  private:
   void enter_phase(Label new_guest, bool active);
 
+  // hring-state: excluded(a-priori knowledge: every process knows k)
   std::size_t k_;
   BkState state_ = BkState::kInit;
   Label guest_{};
+  // hring-state: bits=log_k
   std::size_t inner_ = 1;  // occurrences of guest seen this phase
+  // hring-state: bits=log_k
   std::size_t outer_ = 1;  // phases whose guest was the own label
 
   // Instrumentation (excluded from space accounting):
+  // hring-state: excluded(instrumentation: Figure 1 phase counter)
   std::size_t phase_ = 0;
+  // hring-state: excluded(instrumentation: history toggle)
   bool record_history_;
+  // hring-state: excluded(instrumentation: Figure 1 phase log)
   std::vector<PhaseRecord> history_;
 };
 

@@ -19,6 +19,7 @@ using sim::Message;
 using sim::Process;
 using sim::ProcessId;
 
+// hring-algorithm: ChangRoberts
 class ChangRobertsProcess final : public Process {
  public:
   ChangRobertsProcess(ProcessId pid, Label id) : Process(pid, id) {}

@@ -20,6 +20,7 @@ using sim::Message;
 using sim::Process;
 using sim::ProcessId;
 
+// hring-algorithm: LeLann
 class LeLannProcess final : public Process {
  public:
   LeLannProcess(ProcessId pid, Label id) : Process(pid, id), best_(id) {}

@@ -22,6 +22,7 @@ using sim::Message;
 using sim::Process;
 using sim::ProcessId;
 
+// hring-algorithm: Peterson
 class PetersonProcess final : public Process {
  public:
   PetersonProcess(ProcessId pid, Label id) : Process(pid, id), tid_(id) {}

@@ -19,7 +19,7 @@ using sim::ProcessId;
 struct Shared {
   std::vector<std::unique_ptr<Process>> procs;
   std::vector<std::unique_ptr<Channel>> channels;  // [i]: p_i -> p_{i+1}
-  std::atomic<std::uint64_t> actions{0};
+  alignas(64) std::atomic<std::uint64_t> actions{0};
   std::atomic<std::uint64_t> sent{0};
   std::atomic<std::uint64_t> received{0};
   std::atomic<std::size_t> workers_alive{0};
@@ -136,12 +136,13 @@ ThreadedResult run_threaded(const ring::LabeledRing& ring,
 
   // Watchdog: finished when all workers exited; deadlocked when nothing
   // fired for the quiet period while workers are still parked.
-  std::uint64_t last_actions = shared.actions.load();
+  std::uint64_t last_actions = shared.actions.load(std::memory_order_relaxed);
   auto last_progress = std::chrono::steady_clock::now();
   for (;;) {
     if (shared.workers_alive.load(std::memory_order_acquire) == 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    const std::uint64_t now_actions = shared.actions.load();
+    const std::uint64_t now_actions =
+        shared.actions.load(std::memory_order_relaxed);
     const auto now = std::chrono::steady_clock::now();
     if (now_actions != last_actions) {
       last_actions = now_actions;
@@ -157,9 +158,10 @@ ThreadedResult run_threaded(const ring::LabeledRing& ring,
   for (auto& worker : workers) worker.join();
 
   ThreadedResult result;
-  result.actions = shared.actions.load();
-  result.messages_sent = shared.sent.load();
-  result.messages_received = shared.received.load();
+  // Workers have joined: these are the final values; relaxed suffices.
+  result.actions = shared.actions.load(std::memory_order_relaxed);
+  result.messages_sent = shared.sent.load(std::memory_order_relaxed);
+  result.messages_received = shared.received.load(std::memory_order_relaxed);
 
   bool clean = true;
   for (ProcessId pid = 0; pid < n; ++pid) {
@@ -176,7 +178,7 @@ ThreadedResult run_threaded(const ring::LabeledRing& ring,
     if (!p.halted()) clean = false;
     if (!shared.channels[pid]->empty()) clean = false;
   }
-  if (shared.budget_hit.load()) {
+  if (shared.budget_hit.load(std::memory_order_relaxed)) {
     result.outcome = sim::Outcome::kBudgetExhausted;
   } else {
     result.outcome =

@@ -149,11 +149,14 @@ class Process {
   void halt_self() { halted_ = true; }
 
  private:
+  // hring-state: excluded(simulator addressing, not protocol state)
   ProcessId pid_;
   Label id_;
   bool is_leader_ = false;
   bool done_ = false;
+  // hring-state: bits=b
   std::optional<Label> leader_;
+  // hring-state: excluded(halt flag; halted processes leave the model)
   bool halted_ = false;
 };
 

@@ -1,0 +1,80 @@
+// hring-lint fixture: seeded alphabet-closure violations.
+//
+// This file is linted, never compiled. The alphabet-closure check proves
+// every message tag an algorithm can encode has a decode branch on the
+// receiving side: a tag that is sent but never matched in enabled()/fire()
+// would arrive with no handler, and a switch over the tag enum that is
+// neither exhaustive nor defaulted silently drops the missing tags.
+#include <cstdint>
+
+namespace fixture {
+
+enum class MsgKind : std::uint8_t {
+  kToken,
+  kFinish,
+  kPing,
+};
+
+struct Message {
+  MsgKind kind = MsgKind::kToken;
+  Label label{};
+
+  static Message token(Label l) { return {MsgKind::kToken, l}; }
+  static Message finish() { return {MsgKind::kFinish, Label{}}; }
+  static Message ping(Label l) { return {MsgKind::kPing, l}; }
+};
+
+// Sends kPing but no guard or action branch ever matches it: the tag has
+// no decode path anywhere in the protocol class.
+class Unhandled : public Process {
+ public:
+  bool enabled(const Message* head) const override { return head != nullptr; }
+
+  void fire(const Message* head, Context& ctx) override {  // hring-expect: alphabet-closure
+    const Message msg = ctx.consume();
+    if (msg.kind == MsgKind::kToken) {
+      ctx.send(Message::ping(msg.label));
+    }
+  }
+};
+
+// The decode switch covers kToken and kFinish only — no kPing case and no
+// default: a kPing arrival falls through every branch.
+class Gappy : public Process {
+ public:
+  bool enabled(const Message* head) const override { return head != nullptr; }
+
+  void fire(const Message* head, Context& ctx) override {
+    const Message msg = ctx.consume();
+    switch (msg.kind) {  // hring-expect: alphabet-closure
+      case MsgKind::kToken:
+        ctx.send(Message::token(msg.label));
+        break;
+      case MsgKind::kFinish:
+        ctx.send(Message::finish());
+        break;
+    }
+  }
+};
+
+// Exhaustive switch: every enumerator has a case — silent.
+class Closed : public Process {
+ public:
+  bool enabled(const Message* head) const override { return head != nullptr; }
+
+  void fire(const Message* head, Context& ctx) override {
+    const Message msg = ctx.consume();
+    switch (msg.kind) {
+      case MsgKind::kToken:
+        ctx.send(Message::ping(msg.label));
+        break;
+      case MsgKind::kFinish:
+        break;
+      case MsgKind::kPing:
+        ctx.send(Message::finish());
+        break;
+    }
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,50 @@
+// hring-lint fixture: seeded atomics-discipline violations.
+//
+// This file is linted, never compiled. Shared-counter discipline in the
+// threaded runtime: every atomic operation spells out its memory_order
+// (the default is seq_cst, which is almost never what the ring's
+// acquire/release channel protocol actually needs), implicit operator
+// read-modify-writes are banned for the same reason, and an atomic that
+// shares its cache line with plain data ping-pongs the line between
+// workers unless alignas-separated or declared cold.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class SharedCounters {
+ public:
+  void tick() {
+    hits_.fetch_add(1);  // hring-expect: atomics-discipline
+    ++misses_;  // hring-expect: atomics-discipline
+  }
+
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t grain_ = 8;
+  std::atomic<std::size_t> next_{0};  // hring-expect: atomics-discipline
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+// Explicit orders, separated or cold atomics: silent.
+class CleanCounters {
+ public:
+  void tick() {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    stalls_.store(hits_.load(std::memory_order_relaxed),
+                  std::memory_order_release);
+  }
+
+ private:
+  std::size_t grain_ = 8;
+  alignas(64) std::atomic<std::uint64_t> hits_{0};
+  bool verbose_ = false;
+  // hring-lint: cold-atomic
+  std::atomic<std::uint64_t> stalls_{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,106 @@
+// hring-lint fixture: seeded batch-mirror violations.
+//
+// This file is linted, never compiled. The batch-mirror check keeps a
+// Batch<X> stepper structurally in lock-step with its scalar <X>Process
+// twin: identical canonical guards, the same decision sequence through
+// fire(), and a comment ledger in the batch fire() that names every
+// scalar note_action label in order. Editing one side without the other
+// is the bug class PR 6's byte-identical obligation exists to catch.
+#include <cstdint>
+
+namespace fixture {
+
+// Scalar twin of BatchFoo.
+class FooProcess : public Process {
+ public:
+  bool enabled(const Message* head) const override {
+    if (init_) return true;
+    return head != nullptr;
+  }
+
+  void fire(const Message* head, Context& ctx) override {
+    if (init_) {
+      init_ = false;
+      ctx.note_action("F1");
+      ctx.send(Message::token(id()));
+      return;
+    }
+    const Message msg = ctx.consume();
+    if (msg.label > id()) {
+      ctx.note_action("F-forward");
+      ctx.send(msg);
+    }
+  }
+
+ private:
+  bool init_ = true;
+};
+
+class BatchFoo {
+ public:
+  // The batch guard grew an extra halted disjunct the scalar lacks.
+  bool enabled(std::size_t g, const Message* head) const {  // hring-expect: batch-mirror
+    if (spec_.init.test(g) || spec_.halted.test(g)) return true;
+    return head != nullptr;
+  }
+
+  // Decision 3 compares with >= where the scalar compares with >.
+  void fire(std::size_t g, const Message* head, BatchFireContext& ctx) {  // hring-expect: batch-mirror
+    if (spec_.init.test(g)) {
+      // F1
+      spec_.init.clear(g);
+      ctx.send(Message::token(ids_[g]));
+      return;
+    }
+    const Message msg = ctx.consume();
+    if (msg.label >= ids_[g]) {
+      // F-forward
+      ctx.send(msg);
+    }
+  }
+
+ private:
+  SpecPlanes spec_;
+  Labels ids_;
+};
+
+// Scalar twin of BatchBar: decisions match, but the batch action ledger
+// lost the "R2" comment.
+class BarProcess : public Process {
+ public:
+  bool enabled(const Message* head) const override {
+    return head != nullptr;
+  }
+
+  void fire(const Message* head, Context& ctx) override {
+    const Message msg = ctx.consume();
+    if (msg.label > id()) {
+      ctx.note_action("R1");
+      ctx.send(msg);
+    } else {
+      ctx.note_action("R2");
+    }
+  }
+};
+
+class BatchBar {
+ public:
+  bool enabled(std::size_t g, const Message* head) const {
+    return head != nullptr;
+  }
+
+  void fire(std::size_t g, const Message* head, BatchFireContext& ctx) {  // hring-expect: batch-mirror
+    const Message msg = ctx.consume();
+    if (msg.label > spec_.id[g]) {
+      // R1
+      ctx.send(msg);
+    } else {
+      // swallow (ledger comment for the second action is missing)
+    }
+  }
+
+ private:
+  SpecPlanes spec_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,65 @@
+// hring-lint fixture: seeded space-bound violations.
+//
+// This file is linted, never compiled. The space-bound check sums the
+// declared per-process state widths of every `hring-algorithm`-annotated
+// class and evaluates them against the paper budget over a grid in
+// n, k, b; a layout that can exceed its Theorem 2/4 budget anywhere in
+// the grid, an unannotated member, or an unparsable width expression is
+// a finding.
+#include <cstdint>
+
+namespace fixture {
+
+// The declared layout exceeds the A_k budget: (2k+2)·n·b + 1 outgrows
+// (2k+1)·n·b + 2b + 3 once n·b > 2b + 2 (witness n=5, b=1).
+// hring-algorithm: OverBudget space=(2*k+1)*n*b+2*b+3
+class OverBudget : public Process {  // hring-expect: space-bound
+ public:
+  bool enabled(const Message* head) const override { return head != nullptr; }
+  void fire(const Message* head, Context& ctx) override { ctx.consume(); }
+
+ private:
+  bool init_ = true;
+  // hring-state: bits=(2*k+2)*n*b
+  Buffer string_;
+};
+
+// An algorithm member without a declared width and without a default
+// (bool/Label/enum) is unaccounted state: the static bound would silently
+// undercount it.
+// hring-algorithm: Mystery
+class Mystery : public Process {
+ public:
+  bool enabled(const Message* head) const override { return head != nullptr; }
+  void fire(const Message* head, Context& ctx) override { ctx.consume(); }
+
+ private:
+  std::size_t window_ = 0;  // hring-expect: space-bound
+};
+
+// Width expressions are integers, n, k, b, log_k over + - * ( ) only.
+// hring-algorithm: Garbled
+class Garbled : public Process {
+ public:
+  bool enabled(const Message* head) const override { return head != nullptr; }
+  void fire(const Message* head, Context& ctx) override { ctx.consume(); }
+
+ private:
+  // hring-state: bits=(2*q+1
+  Buffer window_;  // hring-expect: space-bound
+};
+
+// Within budget at every grid point: silent.
+// hring-algorithm: WithinBudget space=(2*k+1)*n*b+2*b+3
+class WithinBudget : public Process {
+ public:
+  bool enabled(const Message* head) const override { return head != nullptr; }
+  void fire(const Message* head, Context& ctx) override { ctx.consume(); }
+
+ private:
+  bool init_ = true;
+  // hring-state: bits=(2*k+1)*n*b
+  Buffer string_;
+};
+
+}  // namespace fixture

@@ -9,6 +9,7 @@
 
 #include "tools/hring_lint/checks.hpp"
 #include "tools/hring_lint/lexer.hpp"
+#include "tools/hring_lint/protocol_model.hpp"
 #include "tools/hring_lint/source_model.hpp"
 
 namespace hring::lint {
@@ -176,6 +177,133 @@ TEST(ConsumePaths, LoopWithoutConsumeIsClean) {
       "ctx.consume();");
   EXPECT_FALSE(s.in_loop);
   EXPECT_EQ(s.max_on_path, 1u);
+}
+
+
+// ---------------------------------------------------------------------------
+// Lexer edge cases the IR extractor walks through.
+
+TEST(Lexer, DigitSeparatorsStayOneNumber) {
+  const SourceFile f = lex_snippet("std::uint64_t budget = 1'000'000;");
+  std::size_t numbers = 0;
+  for (const Token& t : f.tokens) numbers += t.kind == TokKind::kNumber;
+  EXPECT_EQ(numbers, 1u);
+  EXPECT_TRUE(has_token(f, "1'000'000"));
+}
+
+TEST(Lexer, RawStringWithDelimiterIsOneToken) {
+  const SourceFile f =
+      lex_snippet("auto s = R\"x(case MsgKind::kToken: )\" )x\"; g();");
+  // The fake case label inside the raw string must not become tokens.
+  EXPECT_FALSE(has_token(f, "case"));
+  EXPECT_TRUE(has_token(f, "g"));
+  std::size_t strings = 0;
+  for (const Token& t : f.tokens) strings += t.kind == TokKind::kString;
+  EXPECT_EQ(strings, 1u);
+}
+
+TEST(Lexer, NestedTemplateArgumentsInsideSwitch) {
+  const SourceFile f = lex_snippet(
+      "switch (head->kind) {\n"
+      "  case MsgKind::kToken:\n"
+      "    counts_ = std::vector<std::pair<Label, std::size_t>>{};\n"
+      "    break;\n"
+      "}\n");
+  EXPECT_TRUE(has_token(f, ">>"));  // closes both template levels at once
+  EXPECT_TRUE(has_token(f, "kToken"));
+}
+
+// ---------------------------------------------------------------------------
+// BitExpr: the symbolic width language of the space-bound check.
+
+TEST(BitExpr, EvaluatesTheoremTwoBudget) {
+  const auto e = BitExpr::parse("(2*k+1)*n*b+2*b+3");
+  ASSERT_TRUE(e.has_value());
+  // n=4, k=2, b=3: (5)*4*3 + 6 + 3 = 69.
+  EXPECT_EQ(e->eval(BitEnv{4, 2, 3}), 69u);
+}
+
+TEST(BitExpr, LogKFollowsCeilLog2) {
+  const auto e = BitExpr::parse("2*log_k+3*b+5");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->eval(BitEnv{5, 1, 2}), 11u);  // log 1 = 0
+  EXPECT_EQ(e->eval(BitEnv{5, 3, 2}), 15u);  // ceil(log2 3) = 2
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(6), 3u);
+}
+
+TEST(BitExpr, PrecedenceAndWhitespace) {
+  const auto e = BitExpr::parse(" 2 + 3 * 4 - 1 ");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->eval(BitEnv{1, 1, 1}), 13u);
+}
+
+TEST(BitExpr, SubtractionSaturatesAtZero) {
+  const auto e = BitExpr::parse("b-9");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->eval(BitEnv{1, 1, 2}), 0u);
+}
+
+TEST(BitExpr, RejectsUnknownSymbolsAndSyntaxErrors) {
+  EXPECT_FALSE(BitExpr::parse("2*q+1").has_value());
+  EXPECT_FALSE(BitExpr::parse("(2*k+1").has_value());
+  EXPECT_FALSE(BitExpr::parse("").has_value());
+  EXPECT_FALSE(BitExpr::parse("n n").has_value());
+  EXPECT_FALSE(BitExpr::parse("k/2").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization: the equivalence the batch-mirror check is built on.
+
+std::vector<std::string> canon(const std::string& code) {
+  SourceFile f;
+  f.path = "canon.cpp";
+  f.content = code;
+  lex(f);
+  return canonical_tokens(f, 0, f.tokens.size() - 1);  // excl. kEof
+}
+
+std::vector<std::string> decisions(const std::string& code) {
+  SourceFile f;
+  f.path = "decisions.cpp";
+  f.content = code;
+  lex(f);
+  return decision_sequence(f, 0, f.tokens.size() - 1);
+}
+
+TEST(Canonical, ScalarAndBatchSpellingsFold) {
+  // The scalar spelling and its batch twin canonicalize identically.
+  EXPECT_EQ(canon("if (init_) return true;"),
+            canon("if (spec_.init.test(g)) return true;"));
+  EXPECT_EQ(canon("x > id()"), canon("x > spec_.id[g]"));
+  EXPECT_EQ(canon("append_and_test(msg.label)"),
+            canon("append_and_test(nodes_[g], msg.label)"));
+  EXPECT_EQ(canon("sim::Label x"), canon("Label x"));
+}
+
+TEST(Canonical, DivergentGuardsStayDifferent) {
+  EXPECT_NE(canon("if (init_) return true;"),
+            canon("if (spec_.init.test(g) || spec_.halted.test(g)) "
+                  "return true;"));
+  EXPECT_NE(canon("x > id()"), canon("x >= spec_.id[g]"));
+}
+
+TEST(Canonical, DecisionSequenceWalksNestedControlFlow) {
+  const auto d = decisions(
+      "if (init_) { return; }\n"
+      "switch (head->kind) {\n"
+      "  case MsgKind::kToken:\n"
+      "    if (x > id()) { forward(); }\n"
+      "    break;\n"
+      "  default:\n"
+      "    break;\n"
+      "}\n");
+  ASSERT_EQ(d.size(), 5u);
+  EXPECT_EQ(d[0], "if(@init)");
+  EXPECT_EQ(d[1], "switch(head -> kind)");
+  EXPECT_EQ(d[2], "case MsgKind :: kToken");
+  EXPECT_EQ(d[3], "if(x > @id)");
+  EXPECT_EQ(d[4], "default");
 }
 
 }  // namespace

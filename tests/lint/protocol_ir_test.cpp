@@ -1,0 +1,195 @@
+// Static-vs-dynamic space cross-check (tools/hring_lint protocol IR).
+//
+// The extractor re-reads the real election sources at test runtime (paths
+// compiled in via HRING_SOURCE_DIR) and the resulting ProtocolIR is held
+// against the two ground truths it must bracket:
+//   - symbolically, the Theorem 2/4 budget expressions must agree with
+//     core/spec_audit's paper_space_bound_bits at every (n, k, b);
+//   - dynamically, the declared state layout — an all-paths upper bound —
+//     must dominate the auditor's *measured* peak space on the paper's
+//     n ∈ {2..8} × k ∈ {1..3} matrix (static >= dynamic, always).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spec_audit.hpp"
+#include "election/algorithm.hpp"
+#include "ring/generator.hpp"
+#include "ring/labeled_ring.hpp"
+#include "support/rng.hpp"
+#include "tools/hring_lint/lexer.hpp"
+#include "tools/hring_lint/protocol_model.hpp"
+#include "tools/hring_lint/source_model.hpp"
+
+namespace hring::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Lexes message.hpp, process.hpp and every election source into one
+/// cross-file model, exactly like the `--emit-ir` golden invocation.
+class IrExtraction : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    std::vector<std::string> paths = {
+        std::string(HRING_SOURCE_DIR) + "/src/sim/message.hpp",
+        std::string(HRING_SOURCE_DIR) + "/src/sim/process.hpp"};
+    for (const auto& entry :
+         fs::directory_iterator(std::string(HRING_SOURCE_DIR) +
+                                "/src/election")) {
+      const fs::path& p = entry.path();
+      if (p.extension() == ".hpp" || p.extension() == ".cpp") {
+        paths.push_back(p.string());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+
+    files_ = new std::vector<std::unique_ptr<SourceFile>>();
+    model_ = new Model();
+    for (const std::string& path : paths) {
+      auto file = std::make_unique<SourceFile>();
+      ASSERT_TRUE(lex_file(path, *file)) << path;
+      parse_file(*file, *model_);
+      files_->push_back(std::move(file));
+    }
+    diags_ = new std::vector<Diagnostic>();
+    ir_ = new ProtocolIR(extract_protocol_ir(*model_, diags_));
+  }
+
+  static void TearDownTestSuite() {
+    delete ir_;
+    delete diags_;
+    delete model_;
+    delete files_;
+    ir_ = nullptr;
+    diags_ = nullptr;
+    model_ = nullptr;
+    files_ = nullptr;
+  }
+
+  static const AlgorithmIR* find(const std::string& name) {
+    for (const AlgorithmIR& a : ir_->algorithms) {
+      if (a.name == name) return &a;
+    }
+    return nullptr;
+  }
+
+  static std::vector<std::unique_ptr<SourceFile>>* files_;
+  static Model* model_;
+  static std::vector<Diagnostic>* diags_;
+  static ProtocolIR* ir_;
+};
+
+std::vector<std::unique_ptr<SourceFile>>* IrExtraction::files_ = nullptr;
+Model* IrExtraction::model_ = nullptr;
+std::vector<Diagnostic>* IrExtraction::diags_ = nullptr;
+ProtocolIR* IrExtraction::ir_ = nullptr;
+
+TEST_F(IrExtraction, AllFiveAlgorithmsExtractCleanly) {
+  for (const Diagnostic& d : *diags_) ADD_FAILURE() << d.render();
+  ASSERT_EQ(ir_->algorithms.size(), 5u);
+  const char* expected[] = {"Ak", "Bk", "ChangRoberts", "LeLann",
+                            "Peterson"};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ir_->algorithms[i].name, expected[i]);  // sorted by name
+  }
+  EXPECT_EQ(ir_->message.tag_bits, 3u);  // ceil(log2(6)) message kinds
+  ASSERT_EQ(ir_->message.tags.size(), 6u);
+}
+
+TEST_F(IrExtraction, StateAndMessageWidthsAreNonzero) {
+  const BitEnv env{4, 2, 5};
+  for (const AlgorithmIR& alg : ir_->algorithms) {
+    const auto sum = BitExpr::parse(alg.state_bits);
+    ASSERT_TRUE(sum.has_value()) << alg.name << ": " << alg.state_bits;
+    EXPECT_GT(sum->eval(env), 0u) << alg.name;
+    EXPECT_FALSE(alg.sends.empty()) << alg.name;
+    EXPECT_FALSE(alg.handles.empty()) << alg.name;
+    EXPECT_FALSE(alg.actions.empty()) << alg.name;
+  }
+  for (const MessageFieldIR& f : ir_->message.fields) {
+    const auto bits = BitExpr::parse(f.bits);
+    ASSERT_TRUE(bits.has_value()) << f.name;
+    EXPECT_GT(bits->eval(env), 0u) << f.name;
+  }
+}
+
+// The annotated Theorem 2/4 budgets must agree with the auditor's
+// closed-form bounds symbol for symbol, and the declared layout must never
+// exceed its own budget.
+TEST_F(IrExtraction, TheoremBudgetsMatchSpecAudit) {
+  const std::map<std::string, election::AlgorithmId> ids = {
+      {"Ak", election::AlgorithmId::kAk},
+      {"Bk", election::AlgorithmId::kBk}};
+  for (const auto& [name, id] : ids) {
+    const AlgorithmIR* alg = find(name);
+    ASSERT_NE(alg, nullptr);
+    const auto bound = BitExpr::parse(alg->space_bound);
+    const auto sum = BitExpr::parse(alg->state_bits);
+    ASSERT_TRUE(bound.has_value()) << alg->space_bound;
+    ASSERT_TRUE(sum.has_value()) << alg->state_bits;
+    for (std::size_t n = 2; n <= 8; ++n) {
+      for (std::size_t k = 1; k <= 3; ++k) {
+        for (std::size_t b = 1; b <= 8; ++b) {
+          const election::AlgorithmConfig config{id, k, false};
+          const auto paper = core::paper_space_bound_bits(config, n, b);
+          ASSERT_TRUE(paper.has_value());
+          const BitEnv env{n, k, b};
+          EXPECT_EQ(bound->eval(env), *paper)
+              << name << " n=" << n << " k=" << k << " b=" << b;
+          EXPECT_LE(sum->eval(env), *paper)
+              << name << " n=" << n << " k=" << k << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+// Static >= dynamic: the layout the extractor sums from the declarations
+// bounds everything the instrumented runs ever measure.
+TEST_F(IrExtraction, StaticBoundDominatesMeasuredSpace) {
+  const std::map<std::string, election::AlgorithmId> ids = {
+      {"Ak", election::AlgorithmId::kAk},
+      {"Bk", election::AlgorithmId::kBk},
+      {"ChangRoberts", election::AlgorithmId::kChangRoberts},
+      {"LeLann", election::AlgorithmId::kLeLann},
+      {"Peterson", election::AlgorithmId::kPeterson}};
+  support::Rng rng(7);
+  for (std::size_t n = 2; n <= 8; ++n) {
+    // The baselines assume K_1: audit them on a distinct-label ring.
+    const ring::LabeledRing distinct = ring::distinct_ring(n, rng);
+    for (std::size_t k = 1; k <= 3; ++k) {
+      const std::size_t alphabet =
+          std::max<std::size_t>(3, (n + k - 1) / k + 1);
+      const auto asym = ring::random_asymmetric_ring(n, k, alphabet, rng);
+      ASSERT_TRUE(asym.has_value()) << "n=" << n << " k=" << k;
+      for (const auto& [name, id] : ids) {
+        const bool baseline = name != "Ak" && name != "Bk";
+        if (baseline && k > 1) continue;
+        const ring::LabeledRing& ring = baseline ? distinct : *asym;
+        const AlgorithmIR* alg = find(name);
+        ASSERT_NE(alg, nullptr);
+        const auto sum = BitExpr::parse(alg->state_bits);
+        ASSERT_TRUE(sum.has_value());
+        core::SpecAuditConfig config;
+        config.seed = n * 31 + k;
+        const election::AlgorithmConfig algorithm{id, k, false};
+        const auto report = core::audit_algorithm(ring, algorithm, config);
+        ASSERT_TRUE(report.ok()) << name << ": " << report.summary();
+        const BitEnv env{n, k, ring.label_bits()};
+        EXPECT_LE(report.peak_space_bits, sum->eval(env))
+            << name << " n=" << n << " k=" << k
+            << " b=" << ring.label_bits() << ": static " << alg->state_bits
+            << " must dominate the measured peak";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hring::lint

@@ -5,6 +5,8 @@
 #include <set>
 #include <string_view>
 
+#include "protocol_model.hpp"
+
 namespace hring::lint {
 namespace {
 
@@ -40,6 +42,16 @@ void emit(const SourceFile& file, std::uint32_t line, std::uint32_t col,
 /// True when the call at `i` has an explicit receiver (`x.f(...)`).
 [[nodiscard]] bool has_receiver(const std::vector<Token>& t, std::size_t i) {
   return i > 0 && (t[i - 1].is(".") || t[i - 1].is("->"));
+}
+
+/// True for classes with the guarded-action shape: Process subclasses and
+/// the batch mirrors, which expose enabled()/fire() without deriving.
+[[nodiscard]] bool guarded_shape(const Model& model, const std::string& name,
+                                 const ClassInfo& cls) {
+  if (name.empty()) return false;
+  if (model.derives_from(name)) return true;
+  return !model.methods_named(cls, "enabled").empty() &&
+         !model.methods_named(cls, "fire").empty();
 }
 
 // ---------------------------------------------------------------------------
@@ -454,7 +466,7 @@ class ConsumePathAnalyzer {
 void check_consume_discipline(const Model& model,
                               std::vector<Diagnostic>& diags) {
   for (const auto& [name, cls] : model.classes) {
-    if (name.empty() || !model.derives_from(name)) continue;
+    if (!guarded_shape(model, name, cls)) continue;
     for (const MethodInfo* m : model.methods_named(cls, "fire")) {
       if (!m->has_body || m->file == nullptr) continue;
       const ConsumeSummary s =
@@ -543,7 +555,7 @@ void scan_body_for_allocations(const MethodInfo& m, const std::string& where,
 
 void check_hot_path_alloc(const Model& model, std::vector<Diagnostic>& diags) {
   for (const auto& [name, cls] : model.classes) {
-    const bool guarded = !name.empty() && model.derives_from(name);
+    const bool guarded = guarded_shape(model, name, cls);
     for (const MethodInfo& m : cls.methods) {
       if (m.file == nullptr || !m.has_body) continue;
       const bool action_body =
@@ -562,6 +574,12 @@ void check_hot_path_alloc(const Model& model, std::vector<Diagnostic>& diags) {
 
 }  // namespace
 
+void emit_diag(const SourceFile& file, std::uint32_t line, std::uint32_t col,
+               const std::string& check, std::string message,
+               std::vector<Diagnostic>& diags) {
+  emit(file, line, col, check, std::move(message), diags);
+}
+
 ConsumeSummary analyze_consume_paths(const SourceFile& file,
                                      std::size_t body_begin,
                                      std::size_t body_end) {
@@ -576,6 +594,10 @@ void run_checks(const Model& model, const std::vector<std::string>& checks,
     if (check == "guard-purity") check_guard_purity(model, diags);
     if (check == "consume-discipline") check_consume_discipline(model, diags);
     if (check == "hot-path-alloc") check_hot_path_alloc(model, diags);
+    if (check == "space-bound") check_space_bound(model, diags);
+    if (check == "alphabet-closure") check_alphabet_closure(model, diags);
+    if (check == "batch-mirror") check_batch_mirror(model, diags);
+    if (check == "atomics-discipline") check_atomics_discipline(model, diags);
   }
   sort_diagnostics(diags);
 }

@@ -12,6 +12,10 @@
 //   hot-path-alloc     enabled()/fire() and `// hring-lint: hot-path`
 //                      annotated functions must not allocate.
 //
+// The four IR-level checks (space-bound, alphabet-closure, batch-mirror,
+// atomics-discipline) live in protocol_model.hpp and are dispatched from
+// run_checks alongside the token-level ones.
+//
 // Suppression: a `// hring-nolint(<check>)` (or bare `// hring-nolint`)
 // comment on the diagnosed line.
 #pragma once
@@ -26,8 +30,9 @@ namespace hring::lint {
 
 inline const std::vector<std::string>& all_check_names() {
   static const std::vector<std::string> kNames = {
-      "codec-symmetry", "guard-purity", "consume-discipline",
-      "hot-path-alloc"};
+      "codec-symmetry",   "guard-purity", "consume-discipline",
+      "hot-path-alloc",   "space-bound",  "alphabet-closure",
+      "batch-mirror",     "atomics-discipline"};
   return kNames;
 }
 
@@ -35,6 +40,12 @@ inline const std::vector<std::string>& all_check_names() {
 /// findings. Suppressed findings (hring-nolint) are dropped here.
 void run_checks(const Model& model, const std::vector<std::string>& checks,
                 std::vector<Diagnostic>& diags);
+
+/// Appends a diagnostic unless an `hring-nolint` comment on the diagnosed
+/// line suppresses it. Shared by the token-level checks and the IR pass.
+void emit_diag(const SourceFile& file, std::uint32_t line, std::uint32_t col,
+               const std::string& check, std::string message,
+               std::vector<Diagnostic>& diags);
 
 /// Exposed for the unit tests: the maximum number of consume() calls on
 /// any control-flow path through the body token range, with loop-carried

@@ -12,10 +12,14 @@
 //   --summary        print a per-check diagnostic count table
 //   --list-checks    print the known checks and exit
 //   --quiet          suppress diagnostics (exit status only)
+//   --emit-ir=PATH   write the extracted ProtocolIR as JSON ("-" = stdout)
+//   --json=PATH      write diagnostics as a JSON array ("-" = stdout)
 //
 // Exit status: 0 clean / expectations matched, 1 diagnostics emitted /
 // expectations missed, 2 usage or I/O error.
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -25,7 +29,9 @@
 #include "compdb.hpp"
 #include "diagnostics.hpp"
 #include "lexer.hpp"
+#include "protocol_model.hpp"
 #include "source_model.hpp"
+#include "support/json.hpp"
 #include "verify.hpp"
 
 namespace {
@@ -61,6 +67,36 @@ std::vector<std::string> split_csv(const std::string& csv) {
   return out;
 }
 
+/// Writes diagnostics as a JSON array of {file,line,col,check,message}
+/// objects, for the CI per-check summary.
+void write_diagnostics_json(const std::vector<Diagnostic>& diags,
+                            std::ostream& out) {
+  hring::support::JsonWriter w(out);
+  w.begin_array();
+  for (const Diagnostic& d : diags) {
+    w.begin_object();
+    w.key("file").value(d.file);
+    w.key("line").value(static_cast<std::uint64_t>(d.line));
+    w.key("col").value(static_cast<std::uint64_t>(d.col));
+    w.key("check").value(d.check);
+    w.key("message").value(d.message);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+/// Opens PATH for writing ("-" selects stdout). Returns the stream to use,
+/// or nullptr on failure.
+std::ostream* open_sink(const std::string& path, std::ofstream& storage) {
+  if (path == "-") return &std::cout;
+  storage.open(path);
+  if (!storage) {
+    std::cerr << "hring-lint: cannot write " << path << "\n";
+    return nullptr;
+  }
+  return &storage;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,6 +104,8 @@ int main(int argc, char** argv) {
   std::string build_dir;
   std::string filter;
   std::vector<std::string> checks = all_check_names();
+  std::string emit_ir_path;
+  std::string json_path;
   bool verify = false;
   bool summary = false;
   bool quiet = false;
@@ -88,6 +126,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--filter=", 0) == 0) {
       filter = arg.substr(9);
+    } else if (arg.rfind("--emit-ir=", 0) == 0) {
+      emit_ir_path = arg.substr(10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--summary") {
@@ -128,6 +170,10 @@ int main(int argc, char** argv) {
                  "<build-dir>; see --help in the file header)\n";
     return 2;
   }
+  // Deterministic parse order regardless of filesystem iteration order:
+  // the emitted IR and diagnostics must not depend on it.
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
   // Lex and parse everything first: the model is cross-file, so e.g. an
   // out-of-line decode() in a .cpp attaches to its class from the .hpp.
@@ -145,6 +191,22 @@ int main(int argc, char** argv) {
 
   std::vector<Diagnostic> diags;
   run_checks(model, checks, diags);
+
+  if (!emit_ir_path.empty()) {
+    const ProtocolIR ir = extract_protocol_ir(model, nullptr);
+    std::ofstream storage;
+    std::ostream* out = open_sink(emit_ir_path, storage);
+    if (out == nullptr) return 2;
+    write_protocol_ir(ir, *out);
+    *out << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream storage;
+    std::ostream* out = open_sink(json_path, storage);
+    if (out == nullptr) return 2;
+    write_diagnostics_json(diags, *out);
+    *out << "\n";
+  }
 
   if (verify) {
     std::vector<Expectation> expectations;

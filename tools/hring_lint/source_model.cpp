@@ -273,8 +273,43 @@ class Parser {
       if (tok.is("enum")) {
         ++i;
         if (t_[i].is("class") || t_[i].is("struct")) ++i;
+        std::string enum_name;
+        std::uint32_t enum_line = 0;
+        if (t_[i].is_ident()) {
+          enum_name = std::string(t_[i].text);
+          enum_line = t_[i].line;
+        }
         while (i < end && !t_[i].is("{") && !t_[i].is(";")) ++i;
-        if (t_[i].is("{")) i = skip_balanced(t_, i, "{", "}");
+        if (t_[i].is("{")) {
+          const std::size_t body_end_excl = skip_balanced(t_, i, "{", "}");
+          if (!enum_name.empty() && model_.enums.count(enum_name) == 0) {
+            EnumInfo info;
+            info.name = enum_name;
+            info.line = enum_line;
+            info.file = &file_;
+            // Enumerators are the idents in "expect one" position: right
+            // after `{` or a depth-0 `,`. Initializer expressions (after
+            // `=`) are skipped to the next depth-0 comma.
+            bool expect = true;
+            for (std::size_t j = i + 1; j + 1 < body_end_excl; ++j) {
+              const Token& et = t_[j];
+              if (et.is("(")) {
+                j = skip_balanced(t_, j, "(", ")") - 1;
+              } else if (et.is("{")) {
+                j = skip_balanced(t_, j, "{", "}") - 1;
+              } else if (et.is(",")) {
+                expect = true;
+              } else if (expect && et.is_ident()) {
+                info.enumerators.push_back(std::string(et.text));
+                expect = false;
+              } else {
+                expect = false;
+              }
+            }
+            model_.enums.emplace(enum_name, std::move(info));
+          }
+          i = body_end_excl;
+        }
         i = skip_to_semicolon(t_, i);
         continue;
       }
@@ -309,6 +344,13 @@ class Parser {
         if (t_[i].is(":")) i = parse_bases(i + 1, entry);
         if (t_[i].is("{")) {
           const std::size_t after = skip_balanced(t_, i, "{", "}");
+          if (entry.body_file == nullptr) {  // first definition site wins
+            entry.body_file = &file_;
+            entry.body_begin = i + 1;
+            entry.body_end = after > 0 ? after - 1 : i + 1;
+            entry.line = name_tok.line;
+            entry.file = &file_;
+          }
           parse_scope(i + 1, after - 1, &entry);
           i = skip_to_semicolon(t_, after - 1);
         }
@@ -373,6 +415,7 @@ bool Model::has_nonconst_method(const ClassInfo& cls,
 }
 
 void parse_file(const SourceFile& file, Model& model) {
+  model.files.push_back(&file);
   Parser parser(file, model);
   parser.run();
 }

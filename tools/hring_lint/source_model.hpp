@@ -43,12 +43,31 @@ struct ClassInfo {
   std::vector<MethodInfo> methods;
   std::uint32_t line = 0;
   const SourceFile* file = nullptr;
+  /// Token index range of the class body in `body_file->tokens`, excluding
+  /// the enclosing braces: [body_begin, body_end). Set at the first
+  /// definition site seen; out-of-line method definitions do not move it.
+  const SourceFile* body_file = nullptr;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+struct EnumInfo {
+  std::string name;
+  std::vector<std::string> enumerators;
+  std::uint32_t line = 0;
+  const SourceFile* file = nullptr;
 };
 
 struct Model {
   /// Classes by name, merged across files (out-of-line definitions attach
   /// to the class entry; a redefinition in another file merges methods).
   std::map<std::string, ClassInfo> classes;
+
+  /// Enumerations by (unqualified) name, first definition wins.
+  std::map<std::string, EnumInfo> enums;
+
+  /// Every file parsed into this model, in parse order.
+  std::vector<const SourceFile*> files;
 
   /// True iff `name` transitively derives from `root` (default: the
   /// guarded-action base class). Unknown bases terminate the walk.
