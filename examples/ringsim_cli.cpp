@@ -25,6 +25,7 @@
 #include "core/model_checker.hpp"
 #include "core/report.hpp"
 #include "core/ringspec.hpp"
+#include "runtime/inhost/inhost_ring.hpp"
 #include "sim/render.hpp"
 #include "sim/trace.hpp"
 #include "support/json.hpp"
@@ -36,7 +37,10 @@ namespace {
 
 void usage(const char* argv0) {
   std::cout
-      << "usage: " << argv0 << " [audit|sweep|trace] [options]\n"
+      << "usage: " << argv0 << " [run|audit|sweep|trace] [options]\n"
+      << "  run                 subcommand: run one election (the default\n"
+         "                      when no subcommand is given); --transport\n"
+         "                      selects the execution substrate\n"
       << "  audit               subcommand: §II model-conformance audit of\n"
          "                      the selected algorithm on the selected ring\n"
          "                      (replay determinism, locality, message and\n"
@@ -54,6 +58,10 @@ void usage(const char* argv0) {
          " (default Ak)\n"
       << "  --k K               multiplicity bound for Ak/Bk (default: the"
          " ring's actual one)\n"
+      << "  --transport T       run: sim (simulated daemon, default) |\n"
+         "                      threads (the in-host runtime: one OS\n"
+         "                      thread per process, lock-free byte links,\n"
+         "                      wire-framed messages)\n"
       << "  --engine KIND       step | event (default step)\n"
       << "  --sched KIND        synchronous | round-robin | random-single |"
          " random-subset | convoy\n"
@@ -125,10 +133,15 @@ int main(int argc, char** argv) {
   std::size_t workers = 0;
   bool campaign_mode = false;
   bool verify = true;
+  bool threads_transport = false;
   core::CampaignBackend backend = core::CampaignBackend::kAuto;
 
   int first_arg = 1;
-  if (argc > 1 && std::string(argv[1]) == "audit") {
+  if (argc > 1 && std::string(argv[1]) == "run") {
+    // The default mode, named: `run` exists so scripts can say what they
+    // mean (`ringsim_cli run --transport=threads ...`).
+    first_arg = 2;
+  } else if (argc > 1 && std::string(argv[1]) == "audit") {
     audit = true;
     first_arg = 2;
   } else if (argc > 1 && std::string(argv[1]) == "sweep") {
@@ -173,6 +186,17 @@ int main(int argc, char** argv) {
       algo_set = true;
     } else if (arg == "--k") {
       k = static_cast<std::size_t>(std::stoull(next()));
+    } else if (arg == "--transport" || arg.rfind("--transport=", 0) == 0) {
+      const std::string v =
+          arg == "--transport" ? next() : arg.substr(sizeof("--transport=") - 1);
+      if (v == "sim") {
+        threads_transport = false;
+      } else if (v == "threads") {
+        threads_transport = true;
+      } else {
+        std::cerr << "unknown transport '" << v << "' (sim | threads)\n";
+        return EXIT_FAILURE;
+      }
     } else if (arg == "--engine") {
       const std::string v = next();
       if (v == "step") {
@@ -273,6 +297,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (threads_transport) {
+    // The in-host runtime executes one election on real threads; the
+    // simulator-only modes have no meaning there.
+    if (campaign_mode || sweep) {
+      std::cerr << "--transport threads runs one real election and cannot "
+                   "drive "
+                << (campaign_mode ? "--campaign" : "sweep")
+                << "; use the sim transport for statistical runs\n";
+      return EXIT_FAILURE;
+    }
+    if (audit || trace_cmd || model_check) {
+      std::cerr << "--transport threads supports only the run subcommand "
+                   "(the conformance harness audits threaded runs: see "
+                   "docs/RUNTIME.md)\n";
+      return EXIT_FAILURE;
+    }
+  }
+
   std::optional<ring::LabeledRing> ring;
   if (spec.has_value()) {
     ring.emplace(spec->ring);
@@ -322,6 +364,74 @@ int main(int argc, char** argv) {
       std::cout << "warning: ring is OUTSIDE the algorithm's class — "
                    "anything can happen (see impossibility_demo)\n";
     }
+  }
+
+  if (threads_transport) {
+    const auto result = runtime::run_inhost(
+        *ring, election::make_factory(config.algorithm));
+
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::cerr << "cannot open " << metrics_out << "\n";
+        return EXIT_FAILURE;
+      }
+      telemetry::write_metrics_json(out, result.metrics);
+      if (!quiet && !json) std::cout << "metrics: " << metrics_out << "\n";
+    }
+
+    const auto leader = result.leader_pid();
+    bool ok = result.outcome == sim::Outcome::kTerminated &&
+              leader.has_value() && result.wire_rejects == 0 &&
+              result.sends_abandoned == 0;
+    if (ok && election::elects_true_leader(*algo) && report.asymmetric &&
+        *leader != ring->true_leader()) {
+      ok = false;
+    }
+    const double seconds =
+        static_cast<double>(result.elapsed_ns) / 1e9;
+
+    if (json) {
+      support::JsonWriter run_json(std::cout);
+      run_json.begin_object();
+      run_json.key("transport").value("threads");
+      run_json.key("outcome").value(sim::outcome_name(result.outcome));
+      if (leader.has_value()) {
+        run_json.key("leader").value(static_cast<std::uint64_t>(*leader));
+      } else {
+        run_json.key("leader").null();
+      }
+      run_json.key("processes").value(
+          static_cast<std::uint64_t>(result.processes.size()));
+      run_json.key("actions").value(result.actions);
+      run_json.key("messages_sent").value(result.messages_sent);
+      run_json.key("messages_received").value(result.messages_received);
+      run_json.key("wire_rejects").value(result.wire_rejects);
+      run_json.key("sends_abandoned").value(result.sends_abandoned);
+      run_json.key("peak_space_bits").value(
+          static_cast<std::uint64_t>(result.peak_space_bits));
+      run_json.key("elapsed_seconds").value(seconds);
+      run_json.key("verified").value(ok);
+      run_json.end_object();
+      std::cout << '\n';
+    } else {
+      std::cout << "outcome: " << sim::outcome_name(result.outcome) << "\n";
+      if (leader.has_value()) {
+        std::cout << "leader: p" << *leader << " (label "
+                  << words::to_string(ring->label(*leader)) << ")\n";
+      }
+      std::cout << "stats: actions=" << result.actions
+                << " sent=" << result.messages_sent
+                << " recv=" << result.messages_received
+                << " peak_space_bits=" << result.peak_space_bits
+                << " wire_rejects=" << result.wire_rejects << "\n";
+      std::cout << "threads: " << result.processes.size()
+                << " workers, " << seconds << " s\n";
+      if (!quiet) {
+        std::cout << "verification: " << (ok ? "ok" : "FAILED") << "\n";
+      }
+    }
+    return ok ? EXIT_SUCCESS : EXIT_FAILURE;
   }
 
   if (sweep) {

@@ -66,7 +66,7 @@ bool BatchRunner<Algo>::step_slot(std::size_t s) {
   enabled_buf_.clear();
   for (sim::ProcessId pid = 0; pid < n_; ++pid) {
     const std::size_t g = base + pid;
-    const sim::Message* head = links_.head(in_link(s, pid));
+    const sim::Message* head = links_.peek(in_link(s, pid));
     if (!algo_.spec().halted.test(g) && algo_.enabled(g, head)) {
       enabled_buf_.push_back(pid);
     } else {
@@ -93,7 +93,7 @@ bool BatchRunner<Algo>::step_slot(std::size_t s) {
     // the in-link — but only by appending, never by popping another
     // process's head, so the head seen here is the one γ prescribes
     // (same argument as StepEngine::step_once).
-    const sim::Message* head = links_.head(in_link(s, pid));
+    const sim::Message* head = links_.peek(in_link(s, pid));
     HRING_ASSERT(!algo_.spec().halted.test(g));
     HRING_ASSERT(algo_.enabled(g, head));
     election::BatchFireContext ctx(slot.stats, links_, in_link(s, pid),

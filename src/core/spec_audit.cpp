@@ -217,9 +217,13 @@ sim::RunResult run_once(sim::StepEngine& engine, const ring::LabeledRing& ring,
                         const sim::ProcessFactory& factory,
                         const SpecAuditConfig& config,
                         AuditObserver& auditor, sim::SpecMonitor* monitor) {
-  const auto scheduler = make_scheduler(config.scheduler, config.seed);
+  auto scheduler = config.scheduler_factory
+                       ? config.scheduler_factory()
+                       : make_scheduler(config.scheduler, config.seed);
+  HRING_ASSERT(scheduler != nullptr);
   sim::StepConfig step_config;
   step_config.max_steps = config.max_steps;
+  step_config.fairness_bound = config.fairness_bound;
   engine.prepare(ring, factory, *scheduler, step_config);
   engine.add_observer(&auditor);
   if (monitor != nullptr) engine.add_observer(monitor);

@@ -35,6 +35,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,8 +54,19 @@ struct SpecAuditConfig {
   /// are seeded, so the replay check still sees identical schedules.
   SchedulerKind scheduler = SchedulerKind::kRandomSubset;
   std::uint64_t seed = 1;
+  /// When set, overrides `scheduler`/`seed`: every audited run gets a
+  /// fresh scheduler from this factory. The conformance harness passes
+  /// ReplayScheduler factories here, so the auditor's checks run over a
+  /// schedule linearized from a real concurrent execution. The factory
+  /// must produce identically-behaving schedulers on every call (the
+  /// replay check runs twice).
+  std::function<std::unique_ptr<sim::Scheduler>()> scheduler_factory;
   /// Step budget per audited run.
   std::uint64_t max_steps = 1'000'000;
+  /// Step-engine fairness bound. Replay audits must set this above the
+  /// schedule length: force-including an aged process would diverge from
+  /// the recorded schedule (the recorded run already was fair).
+  std::size_t fairness_bound = 128;
   /// [send-burst] bound on messages per firing.
   std::size_t max_sends_per_firing = 4;
   /// Individual checks; all on by default.

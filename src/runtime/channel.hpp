@@ -6,29 +6,84 @@
 // producers. Only the consumer pops, so a peeked head stays the head
 // until the consumer itself removes it; that property lets the worker
 // evaluate guards outside the lock.
+//
+// Capacity is explicit: every channel is bounded, and a full channel
+// applies the configured Backpressure policy — kBlock parks the producer
+// until the consumer drains (the default; matches a real bounded pipe),
+// kFail refuses the message immediately (for callers that would rather
+// count drops than stall). Unbounded growth was the old behavior and is
+// deliberately gone: a runaway producer now surfaces as backpressure,
+// not as an out-of-memory kill minutes later.
+//
+// ChannelRing at the bottom arranges n channels into the ring's
+// unidirectional links and exposes the sim::Transport face
+// (sim/transport.hpp), so the same port vocabulary drives the simulator
+// engines and this concurrent backend.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "sim/message.hpp"
+#include "sim/transport.hpp"
 #include "support/assert.hpp"
 
 namespace hring::runtime {
 
 using sim::Message;
 
+/// What a producer experiences when the channel is full.
+enum class Backpressure {
+  kBlock,  ///< wait until the consumer makes room (or the push is canceled)
+  kFail,   ///< refuse the message immediately; push returns false
+};
+
+struct ChannelConfig {
+  /// Maximum queued messages. Must be positive — a zero-capacity channel
+  /// could never deliver anything (rendezvous is not this channel's model).
+  std::size_t capacity = 1024;
+  Backpressure policy = Backpressure::kBlock;
+};
+
 class Channel {
  public:
-  /// Appends a message and wakes the consumer.
-  void push(const Message& msg) {
+  Channel() : Channel(ChannelConfig{}) {}
+  explicit Channel(ChannelConfig config) : config_(config) {
+    HRING_EXPECTS(config.capacity > 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return config_.capacity; }
+  [[nodiscard]] Backpressure policy() const { return config_.policy; }
+
+  /// Appends a message and wakes the consumer. When full: kFail returns
+  /// false at once; kBlock waits until the consumer makes room or
+  /// `cancel` returns true (re-checked on every wakeup — pair it with
+  /// kick() from the canceling thread). Returns true iff enqueued.
+  template <class Cancel>
+  [[nodiscard]] bool push(const Message& msg, Cancel cancel) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (queue_.size() >= config_.capacity) {
+        if (config_.policy == Backpressure::kFail) return false;
+        cv_.wait(lock, [&] {
+          return queue_.size() < config_.capacity || cancel();
+        });
+        if (queue_.size() >= config_.capacity) return false;  // canceled
+      }
       queue_.push_back(msg);
     }
     cv_.notify_all();
+    return true;
+  }
+
+  /// Uncancelable push: under kBlock it always succeeds (waiting as long
+  /// as it takes); under kFail it returns false when full.
+  bool push(const Message& msg) {
+    return push(msg, [] { return false; });
   }
 
   /// Copy of the head message, if any.
@@ -44,10 +99,15 @@ class Channel {
   /// otherwise corrupt the queue silently instead of failing the
   /// sanitizer runs loudly.
   Message pop() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    HRING_EXPECTS(!queue_.empty());
-    const Message msg = queue_.front();
-    queue_.pop_front();
+    Message msg = [&] {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      HRING_EXPECTS(!queue_.empty());
+      const Message front = queue_.front();
+      queue_.pop_front();
+      return front;
+    }();
+    // Wake producers parked on a full channel (and size-change waiters).
+    cv_.notify_all();
     return msg;
   }
 
@@ -61,7 +121,7 @@ class Channel {
     return queue_.size();
   }
 
-  /// Wakes any waiter (used for shutdown).
+  /// Wakes any waiter (used for shutdown and push cancellation).
   void kick() { cv_.notify_all(); }
 
   [[nodiscard]] std::size_t size() const {
@@ -72,9 +132,84 @@ class Channel {
   [[nodiscard]] bool empty() const { return size() == 0; }
 
  private:
+  ChannelConfig config_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
 };
+
+/// The threaded backend's transport: n blocking channels arranged as the
+/// ring's links, port i = S(p_i, p_{i+1}). Satisfies sim::Transport; the
+/// concurrent caveats are inherited from Channel — send applies the
+/// configured backpressure policy, and peek's returned pointer (into a
+/// per-port scratch slot) obeys the single-consumer discipline the
+/// concept states: it stays valid until the port's consumer next calls
+/// try_recv/peek on that port.
+class ChannelRing {
+ public:
+  /// Rebinds to `ports` channels, all empty, each with `config`'s
+  /// capacity and policy.
+  void reset(std::size_t ports, ChannelConfig config = {}) {
+    channels_.clear();
+    channels_.reserve(ports);
+    for (std::size_t i = 0; i < ports; ++i) {
+      channels_.push_back(std::make_unique<Channel>(config));
+    }
+    peek_scratch_.assign(ports, std::nullopt);
+  }
+
+  [[nodiscard]] Channel& channel(std::size_t port) {
+    HRING_EXPECTS(port < channels_.size());
+    return *channels_[port];
+  }
+  [[nodiscard]] const Channel& channel(std::size_t port) const {
+    HRING_EXPECTS(port < channels_.size());
+    return *channels_[port];
+  }
+
+  /// Wakes every waiter on every channel (shutdown broadcast).
+  void kick_all() const {
+    for (const auto& channel : channels_) channel->kick();
+  }
+
+  // -- Transport face (sim/transport.hpp) ----------------------------------
+  /// Uncancelable send; kBlock waits for room, kFail may drop (the
+  /// transport face has no drop-reporting — runtime callers that must
+  /// distinguish use channel(port).push(msg, cancel) directly).
+  void send(std::size_t port, const Message& msg) {
+    HRING_EXPECTS(port < channels_.size());
+    (void)channels_[port]->push(msg);
+  }
+
+  [[nodiscard]] const Message* peek(std::size_t port) {
+    HRING_EXPECTS(port < channels_.size());
+    peek_scratch_[port] = channels_[port]->peek();
+    if (!peek_scratch_[port].has_value()) return nullptr;
+    return &*peek_scratch_[port];
+  }
+
+  [[nodiscard]] std::optional<Message> try_recv(std::size_t port) {
+    HRING_EXPECTS(port < channels_.size());
+    if (!channels_[port]->peek().has_value()) return std::nullopt;
+    // Single consumer: the head we just saw is still the head.
+    return channels_[port]->pop();
+  }
+
+  [[nodiscard]] std::size_t depth(std::size_t port) const {
+    HRING_EXPECTS(port < channels_.size());
+    return channels_[port]->size();
+  }
+
+  [[nodiscard]] std::size_t ports() const { return channels_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Channel>> channels_;
+  /// Per-port peek scratch: peek() must hand out a pointer, Channel::peek
+  /// returns by value (the head lives behind the lock). Each slot is only
+  /// touched by its port's single consumer.
+  std::vector<std::optional<Message>> peek_scratch_;
+};
+
+static_assert(sim::Transport<ChannelRing>);
 
 }  // namespace hring::runtime

@@ -1,0 +1,165 @@
+#include "runtime/conformance.hpp"
+
+#include <limits>
+#include <memory>
+
+#include "core/election_driver.hpp"
+#include "sim/replay.hpp"
+#include "support/assert.hpp"
+
+namespace hring::runtime {
+namespace {
+
+[[nodiscard]] std::optional<sim::ProcessId> leader_of(
+    const std::vector<sim::ProcessSnapshot>& processes) {
+  std::optional<sim::ProcessId> found;
+  for (const auto& p : processes) {
+    if (!p.is_leader) continue;
+    if (found.has_value()) return std::nullopt;
+    found = p.pid;
+  }
+  return found;
+}
+
+[[nodiscard]] std::string render_pid(std::optional<sim::ProcessId> pid) {
+  return pid.has_value() ? std::to_string(*pid) : "none";
+}
+
+}  // namespace
+
+std::string ConformanceReport::summary() const {
+  std::string out =
+      ok() ? "conformant"
+           : "DIVERGENT(" + std::to_string(divergences.size()) + ")";
+  out += " | inhost leader=" + render_pid(leader_of(inhost.processes));
+  out += " sim leader=" + render_pid(simulator_leader);
+  out += " actions=" + std::to_string(inhost.actions);
+  out += " msgs=" + std::to_string(inhost.messages_sent);
+  out += " space=" + std::to_string(inhost.peak_space_bits);
+  if (space_bound_bits.has_value()) {
+    out += "/" + std::to_string(*space_bound_bits);
+  }
+  out += " bits, audit=" + std::string(audit.ok() ? "ok" : "FAIL");
+  return out;
+}
+
+ConformanceReport check_conformance(
+    const ring::LabeledRing& ring,
+    const election::AlgorithmConfig& algorithm,
+    const ConformanceConfig& config) {
+  ConformanceReport report;
+  const std::size_t b = ring.label_bits();
+  report.space_bound_bits =
+      core::paper_space_bound_bits(algorithm, ring.size(), b);
+
+  // -- Stage 1: reference simulator run -----------------------------------
+  core::ElectionConfig sim_config;
+  sim_config.algorithm = algorithm;
+  sim_config.scheduler = core::SchedulerKind::kSynchronous;
+  const sim::RunResult reference = core::run_election(ring, sim_config);
+  report.simulator_leader = leader_of(reference.processes);
+  if (reference.outcome != sim::Outcome::kTerminated) {
+    report.divergences.push_back(
+        "[reference] simulator run did not terminate cleanly");
+  }
+
+  // -- Stage 2: the real run ----------------------------------------------
+  InHostConfig inhost_config = config.inhost;
+  inhost_config.record_trace = true;  // stage 3 needs the firing records
+  report.inhost =
+      run_inhost(ring, election::make_factory(algorithm), inhost_config);
+  const InHostResult& real = report.inhost;
+  if (real.outcome != sim::Outcome::kTerminated) {
+    report.divergences.push_back(
+        "[runtime] in-host run outcome is not kTerminated");
+  }
+  if (real.wire_rejects != 0) {
+    report.divergences.push_back(
+        "[runtime] " + std::to_string(real.wire_rejects) +
+        " wire frames rejected on healthy links");
+  }
+  if (real.sends_abandoned != 0) {
+    report.divergences.push_back(
+        "[runtime] " + std::to_string(real.sends_abandoned) +
+        " sends abandoned (shutdown during backpressure)");
+  }
+  if (real.messages_sent != real.messages_received) {
+    report.divergences.push_back(
+        "[runtime] sent " + std::to_string(real.messages_sent) +
+        " != received " + std::to_string(real.messages_received));
+  }
+  if (real.trace.size() != real.actions) {
+    report.divergences.push_back(
+        "[runtime] trace length " + std::to_string(real.trace.size()) +
+        " != action count " + std::to_string(real.actions));
+  }
+
+  const std::optional<sim::ProcessId> real_leader =
+      leader_of(real.processes);
+  if (real_leader != report.simulator_leader) {
+    report.divergences.push_back(
+        "[leader] in-host elected " + render_pid(real_leader) +
+        ", simulator elected " + render_pid(report.simulator_leader));
+  }
+  if (config.check_true_leader &&
+      election::elects_true_leader(algorithm.id)) {
+    const sim::ProcessId expected = ring.true_leader();
+    if (real_leader != std::optional<sim::ProcessId>(expected)) {
+      report.divergences.push_back(
+          "[leader] in-host elected " + render_pid(real_leader) +
+          ", ring's true leader is " + std::to_string(expected));
+    }
+  }
+
+  // -- Stage 3: linearized replay through the spec auditor ----------------
+  // The stamps order the firings into a sequential schedule (every
+  // consumed message was sent by an earlier stamp); replay it as
+  // singleton steps with fairness forcing disabled — the concurrent run
+  // already was fair, and a forced inclusion would diverge from the
+  // recording.
+  sim::Schedule schedule;
+  schedule.reserve(real.trace.size());
+  for (const FiringRecord& record : real.trace) {
+    schedule.push_back({record.pid});
+  }
+  core::SpecAuditConfig audit_config;
+  audit_config.scheduler_factory = [schedule] {
+    return std::make_unique<sim::ReplayScheduler>(schedule);
+  };
+  audit_config.fairness_bound = std::numeric_limits<std::size_t>::max();
+  audit_config.max_steps = schedule.size() + 2;
+  report.audit = core::audit_algorithm(ring, algorithm, audit_config);
+  for (const std::string& violation : report.audit.violations) {
+    report.divergences.push_back("[audit] " + violation);
+  }
+
+  // The replayed execution must reproduce the runtime's own accounting
+  // exactly — same firings, same messages, same peak space.
+  if (report.audit.firings != real.actions) {
+    report.divergences.push_back(
+        "[replay] replayed " + std::to_string(report.audit.firings) +
+        " firings, runtime performed " + std::to_string(real.actions));
+  }
+  if (report.audit.messages != real.messages_sent) {
+    report.divergences.push_back(
+        "[replay] replayed " + std::to_string(report.audit.messages) +
+        " messages, runtime sent " + std::to_string(real.messages_sent));
+  }
+  if (report.audit.peak_space_bits != real.peak_space_bits) {
+    report.divergences.push_back(
+        "[replay] replayed peak space " +
+        std::to_string(report.audit.peak_space_bits) +
+        " bits, runtime measured " +
+        std::to_string(real.peak_space_bits));
+  }
+  if (report.space_bound_bits.has_value() &&
+      real.peak_space_bits > *report.space_bound_bits) {
+    report.divergences.push_back(
+        "[space] runtime peak " + std::to_string(real.peak_space_bits) +
+        " bits exceeds the paper bound " +
+        std::to_string(*report.space_bound_bits));
+  }
+  return report;
+}
+
+}  // namespace hring::runtime

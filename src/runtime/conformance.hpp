@@ -1,0 +1,72 @@
+// Simulator ↔ runtime conformance harness.
+//
+// The in-host runtime (runtime/inhost/) must be *the same algorithm* the
+// simulator proves things about — not a lookalike. This harness makes
+// that an executable obligation, in three stages:
+//
+//   1. Reference: run the election in the step engine (synchronous
+//      daemon) and record the leader the theory predicts (the ring's
+//      true leader for the paper's algorithms).
+//   2. Real run: execute the same RingSpec cell on the in-host runtime —
+//      real threads, byte frames, OS scheduling.
+//   3. Replay + audit: sort the runtime's firing records by their global
+//      stamps (a valid sequential schedule — every consumed message was
+//      sent by an earlier-stamped firing; see inhost_ring.hpp) and
+//      re-execute it in the step engine as singleton steps through
+//      ReplayScheduler, with the full spec auditor attached. The audit's
+//      obligations (locality, FIFO, message width, Theorem 2/4 space,
+//      the §II spec, termination) are thereby checked over the *observed
+//      concurrent execution*, and the replayed run's leader, action and
+//      message counts must match the runtime's own counters exactly.
+//
+// A conformance pass therefore certifies: the concurrent execution is a
+// linearizable §II execution, its statistics agree with the simulator's
+// accounting, and its space stayed within the paper's bounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spec_audit.hpp"
+#include "election/algorithm.hpp"
+#include "ring/labeled_ring.hpp"
+#include "runtime/inhost/inhost_ring.hpp"
+
+namespace hring::runtime {
+
+struct ConformanceConfig {
+  /// Runtime knobs for stage 2 (record_trace is forced on).
+  InHostConfig inhost;
+  /// Require the elected leader to be the ring's true leader — applied
+  /// only to algorithms that contractually elect it (A_k and B_k; the
+  /// baselines elect *a* leader). Simulator/runtime leader equality is
+  /// checked for every algorithm regardless.
+  bool check_true_leader = true;
+};
+
+struct ConformanceReport {
+  /// Divergences, each prefixed with its stage ("[replay] ...").
+  std::vector<std::string> divergences;
+  /// Stage 2's result (the real run).
+  InHostResult inhost;
+  /// Stage 3's audit over the replayed schedule.
+  core::SpecAuditReport audit;
+  /// Leader elected by the reference simulator run.
+  std::optional<sim::ProcessId> simulator_leader;
+  /// Paper bound the runtime's peak space was checked against (unset for
+  /// baseline algorithms — the paper states no bound for them).
+  std::optional<std::size_t> space_bound_bits;
+
+  [[nodiscard]] bool ok() const { return divergences.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the three-stage conformance check for `algorithm` on `ring`.
+[[nodiscard]] ConformanceReport check_conformance(
+    const ring::LabeledRing& ring,
+    const election::AlgorithmConfig& algorithm,
+    const ConformanceConfig& config = {});
+
+}  // namespace hring::runtime

@@ -1,0 +1,315 @@
+#include "runtime/inhost/inhost_ring.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "runtime/inhost/inhost_links.hpp"
+#include "runtime/inhost/membership.hpp"
+#include "support/assert.hpp"
+
+namespace hring::runtime {
+namespace {
+
+using sim::Message;
+using sim::Process;
+using sim::ProcessId;
+
+/// Latency histogram bucket edges, nanoseconds (decade scale: an in-host
+/// hop lands in the 100ns..100µs range; the tails catch scheduler noise).
+constexpr std::array<double, 8> kLatencyEdgesNs = {
+    1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+
+/// Shared run state.
+struct Shared {
+  std::vector<std::unique_ptr<Process>> procs;
+  InHostLinks links;  // port i: p_i -> p_{i+1}
+  RingMembership membership;
+  alignas(64) std::atomic<std::uint64_t> seq{0};  // global firing stamps
+  alignas(64) std::atomic<std::uint64_t> actions{0};
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::uint64_t> abandoned{0};
+  std::atomic<std::size_t> workers_alive{0};
+  std::atomic<bool> shutdown{false};
+  std::atomic<bool> budget_hit{false};
+
+  explicit Shared(std::size_t n) : membership(n) {}
+
+  [[nodiscard]] std::size_t in_port(ProcessId pid) const {
+    return (pid + links.ports() - 1) % links.ports();
+  }
+  [[nodiscard]] std::size_t out_port(ProcessId pid) const { return pid; }
+
+  [[nodiscard]] bool shutting_down() const {
+    return shutdown.load(std::memory_order_relaxed);
+  }
+};
+
+/// Per-worker private state, merged by the main thread after join.
+struct WorkerLocal {
+  telemetry::MetricsRegistry metrics;
+  std::vector<FiringRecord> trace;
+  std::size_t peak_space_bits = 0;
+  std::uint64_t fired = 0;
+};
+
+/// Context for one firing on an in-host worker: consume pops the peeked
+/// wire frame (recording its latency), send encodes onto the out-queue
+/// with shutdown-cancelable backpressure.
+class InHostContext final : public sim::Context {
+ public:
+  InHostContext(Shared& shared, WorkerLocal& local,
+                telemetry::HistogramId latency_hist, ProcessId pid)
+      : shared_(shared),
+        local_(local),
+        latency_hist_(latency_hist),
+        pid_(pid) {}
+
+  Message consume() override {
+    HRING_EXPECTS(!consumed_);
+    consumed_ = true;
+    std::uint64_t send_ts_ns = 0;
+    const Message msg =
+        shared_.links.recv_peeked(shared_.in_port(pid_), send_ts_ns);
+    const std::uint64_t now = monotonic_ns();
+    local_.metrics.record(
+        latency_hist_,
+        static_cast<double>(now >= send_ts_ns ? now - send_ts_ns : 0));
+    shared_.received.fetch_add(1, std::memory_order_relaxed);
+    return msg;
+  }
+
+  void send(const Message& msg) override {
+    const bool pushed = shared_.links.send_cancelable(
+        shared_.out_port(pid_), msg,
+        [this] { return shared_.shutting_down(); });
+    if (pushed) {
+      shared_.sent.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shared_.abandoned.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void note_action(std::string_view) override {}
+
+ private:
+  Shared& shared_;
+  WorkerLocal& local_;
+  telemetry::HistogramId latency_hist_;
+  ProcessId pid_;
+  bool consumed_ = false;
+};
+
+void worker_loop(Shared& shared, WorkerLocal& local, ProcessId pid,
+                 const InHostConfig& config, std::size_t label_bits) {
+  // Bootstrap: announce, then hold until the control plane starts the
+  // election (or aborts the run).
+  shared.membership.join(pid);
+  if (!shared.membership.await_start(
+          [&] { return shared.shutting_down(); })) {
+    shared.workers_alive.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+
+  Process& proc = *shared.procs[pid];
+  const telemetry::HistogramId latency_hist = local.metrics.histogram(
+      "inhost_message_latency_ns",
+      std::span<const double>(kLatencyEdgesNs));
+  const std::size_t in_port = shared.in_port(pid);
+  local.peak_space_bits = proc.space_bits(label_bits);  // initial space
+  Backoff backoff;
+
+  while (!shared.shutting_down()) {
+    if (proc.halted()) break;
+    // Single consumer of in_port: the peeked head stays the head until
+    // we consume it ourselves.
+    const Message* head = shared.links.peek(in_port);
+    if (proc.enabled(head)) {
+      // Stamp before consuming/sending — the linearization invariant
+      // (see inhost_ring.hpp's header comment).
+      const std::uint64_t seq =
+          shared.seq.fetch_add(1, std::memory_order_relaxed);
+      InHostContext ctx(shared, local, latency_hist, pid);
+      proc.fire(head, ctx);
+      shared.actions.fetch_add(1, std::memory_order_relaxed);
+      if (config.record_trace) local.trace.push_back({seq, pid});
+      local.peak_space_bits =
+          std::max(local.peak_space_bits, proc.space_bits(label_bits));
+      backoff.reset();
+      if (++local.fired >= config.max_actions_per_process) {
+        shared.budget_hit.store(true, std::memory_order_relaxed);
+        shared.shutdown.store(true, std::memory_order_relaxed);
+        shared.links.ring_all();  // wake parked peers to observe shutdown
+        break;
+      }
+      continue;
+    }
+    // Not enabled: spin/yield briefly (small rings resolve in ns), then
+    // park on the in-port doorbell — a futex sleep the producer's next
+    // send (or shutdown's ring_all) ends directly. Beats let the
+    // watchdog tell "parked, ring quiet" from "never got here".
+    shared.membership.beat(pid);
+    if (!backoff.exhausted()) {
+      backoff.pause();
+      continue;
+    }
+    const std::uint64_t ticket = shared.links.doorbell(in_port);
+    // Re-check enabledness after taking the ticket: a frame published
+    // before the ticket read would otherwise be slept through. Parking
+    // while disabled is sound even with a frame queued — a disabled
+    // process can only become enabled through a state change (it cannot
+    // fire) or a new message (which rings the doorbell).
+    if (!proc.enabled(shared.links.peek(in_port)) &&
+        !shared.shutting_down()) {
+      shared.links.doorbell_wait(in_port, ticket);
+    }
+  }
+  shared.workers_alive.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+}  // namespace
+
+std::optional<sim::ProcessId> InHostResult::leader_pid() const {
+  std::optional<sim::ProcessId> found;
+  for (const auto& p : processes) {
+    if (!p.is_leader) continue;
+    if (found.has_value()) return std::nullopt;
+    found = p.pid;
+  }
+  return found;
+}
+
+InHostResult run_inhost(const ring::LabeledRing& ring,
+                        const sim::ProcessFactory& factory,
+                        const InHostConfig& config) {
+  HRING_EXPECTS(factory != nullptr);
+  const std::size_t n = ring.size();
+  const std::size_t label_bits = ring.label_bits();
+  Shared shared(n);
+  shared.procs.reserve(n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    shared.procs.push_back(factory(pid, ring.label(pid)));
+  }
+  // Queue capacity: every algorithm here keeps O(1) frames in flight per
+  // process; 4n+16 frames bounds a runaway at backpressure instead of
+  // memory exhaustion (same rationale as the threaded runtime's 2n+8).
+  const std::size_t capacity_bytes =
+      config.queue_capacity_bytes > 0
+          ? config.queue_capacity_bytes
+          : (4 * n + 16) * wire::kFrameBytes;
+  shared.links.reset(n, label_bits, capacity_bytes);
+  // Pre-spawn, so the pokes are ordered before all worker reads.
+  if (config.pre_start_poke) config.pre_start_poke(shared.links);
+  shared.workers_alive.store(n, std::memory_order_relaxed);
+
+  std::vector<WorkerLocal> locals(n);
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    workers.emplace_back(worker_loop, std::ref(shared),
+                         std::ref(locals[pid]), pid, std::cref(config),
+                         label_bits);
+  }
+
+  // Control plane: wait for every join, wire the unidirectional ring,
+  // release the workers.
+  const bool joined =
+      shared.membership.await_joined([&] { return shared.shutting_down(); });
+  HRING_ASSERT(joined);  // in-host workers always reach join()
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    shared.membership.set_next(pid, (pid + 1) % n);
+  }
+  const std::uint64_t started_ns = monotonic_ns();
+  shared.membership.start_election();
+
+  // Watchdog: finished when all workers exited; deadlocked when nothing
+  // fired for the quiet period while workers are still parked. The
+  // period scales with the worker count — on an oversubscribed host the
+  // scheduling latency of the one enabled worker among n sleepers is
+  // itself O(n) timeslices, and the watchdog must outwait it.
+  const std::uint64_t quiet_ms = std::max<std::uint64_t>(
+      config.quiet_period_ms, static_cast<std::uint64_t>(4 * n));
+  std::uint64_t last_actions = shared.actions.load(std::memory_order_relaxed);
+  auto last_progress = std::chrono::steady_clock::now();
+  for (;;) {
+    if (shared.workers_alive.load(std::memory_order_acquire) == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const std::uint64_t now_actions =
+        shared.actions.load(std::memory_order_relaxed);
+    const auto now = std::chrono::steady_clock::now();
+    if (now_actions != last_actions) {
+      last_actions = now_actions;
+      last_progress = now;
+      continue;
+    }
+    if (now - last_progress > std::chrono::milliseconds(quiet_ms)) {
+      shared.shutdown.store(true, std::memory_order_relaxed);
+      shared.membership.kick();
+      shared.links.ring_all();
+    }
+  }
+  for (auto& worker : workers) worker.join();
+  const std::uint64_t finished_ns = monotonic_ns();
+
+  InHostResult result;
+  // Workers have joined: final values, relaxed suffices.
+  result.actions = shared.actions.load(std::memory_order_relaxed);
+  result.messages_sent = shared.sent.load(std::memory_order_relaxed);
+  result.messages_received =
+      shared.received.load(std::memory_order_relaxed);
+  result.sends_abandoned = shared.abandoned.load(std::memory_order_relaxed);
+  result.wire_rejects = shared.links.total_rejects();
+  result.elapsed_ns =
+      finished_ns >= started_ns ? finished_ns - started_ns : 0;
+
+  bool clean = true;
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    const Process& p = *shared.procs[pid];
+    sim::ProcessSnapshot snap;
+    snap.pid = p.pid();
+    snap.id = p.id();
+    snap.is_leader = p.is_leader();
+    snap.done = p.done();
+    snap.halted = p.halted();
+    snap.leader = p.leader();
+    snap.debug = p.debug_state();
+    result.processes.push_back(std::move(snap));
+    if (!p.halted()) clean = false;
+    if (shared.links.pending_bytes(pid) != 0) clean = false;
+  }
+  if (shared.budget_hit.load(std::memory_order_relaxed)) {
+    result.outcome = sim::Outcome::kBudgetExhausted;
+  } else {
+    result.outcome =
+        clean ? sim::Outcome::kTerminated : sim::Outcome::kDeadlock;
+  }
+
+  // Fold the per-worker views: metrics merge by name, space maxes,
+  // traces concatenate and sort by the global stamps.
+  std::size_t trace_len = 0;
+  for (const WorkerLocal& local : locals) trace_len += local.trace.size();
+  result.trace.reserve(trace_len);
+  for (const WorkerLocal& local : locals) {
+    result.metrics.merge(local.metrics);
+    result.peak_space_bits =
+        std::max(result.peak_space_bits, local.peak_space_bits);
+    result.trace.insert(result.trace.end(), local.trace.begin(),
+                        local.trace.end());
+  }
+  std::sort(result.trace.begin(), result.trace.end(),
+            [](const FiringRecord& a, const FiringRecord& b) {
+              return a.seq < b.seq;
+            });
+  const auto wire_rejects_id = result.metrics.counter("inhost_wire_rejects");
+  result.metrics.add(wire_rejects_id, result.wire_rejects);
+  const auto abandoned_id =
+      result.metrics.counter("inhost_sends_abandoned");
+  result.metrics.add(abandoned_id, result.sends_abandoned);
+  return result;
+}
+
+}  // namespace hring::runtime

@@ -1,0 +1,95 @@
+// The first real ring runtime: one OS thread per process, lock-free SPSC
+// byte links, messages as hardened wire frames.
+//
+// Where runtime/threaded_ring.hpp demonstrates the algorithms on mutex
+// channels, this backend is the deployment-shaped one: a membership
+// bootstrap (join → set_next → start_election) brings the ring up, the
+// data plane is runtime/inhost/inhost_links.hpp (no locks, no in-memory
+// Message hand-off — every message is encoded to bytes and decoded back),
+// workers emit liveness beats, and a watchdog declares deadlock after a
+// quiet period exactly like the threaded runtime.
+//
+// Every firing is stamped from one global sequence counter *before* it
+// consumes or sends. If firing B consumes a message sent by firing A,
+// A's stamp happens-before B's (A's stamp is sequenced before its
+// release-publication of the frame; B's acquire-read of the frame is
+// sequenced before B's stamp; RMW coherence then orders the stamps), so
+// sorting the firing records by stamp yields a sequential schedule every
+// consumed message precedes — the linearization the conformance harness
+// (runtime/conformance.hpp) replays through the step engine and audits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ring/labeled_ring.hpp"
+#include "sim/engine.hpp"
+#include "sim/run_result.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace hring::runtime {
+
+class InHostLinks;
+
+struct InHostConfig {
+  /// Per-process firing budget (livelock guard).
+  std::uint64_t max_actions_per_process = 1'000'000;
+  /// Watchdog quiet period (milliseconds of global inactivity) before a
+  /// stalled run is declared deadlocked. Treated as a floor: the runtime
+  /// raises it to 4ms × n so that scheduling latency on an oversubscribed
+  /// host is never mistaken for a deadlock.
+  std::uint64_t quiet_period_ms = 500;
+  /// Per-link queue capacity in bytes; 0 picks the default (enough for
+  /// 4n+16 frames). A full link backpressures the sender (adaptive
+  /// spin/yield/sleep, canceled by shutdown).
+  std::size_t queue_capacity_bytes = 0;
+  /// Record (seq, pid) firing records for conformance replay. Costs one
+  /// vector push per firing; disable for pure throughput runs.
+  bool record_trace = true;
+  /// Test hook: invoked with the sized data plane before any worker
+  /// starts — the wire-path mutation tests pre-seed corrupted frames
+  /// here. Election code never sets this.
+  std::function<void(InHostLinks&)> pre_start_poke;
+};
+
+/// One firing, stamped by the global sequence counter at firing start.
+struct FiringRecord {
+  std::uint64_t seq = 0;
+  sim::ProcessId pid = 0;
+};
+
+struct InHostResult {
+  sim::Outcome outcome = sim::Outcome::kDeadlock;
+  std::vector<sim::ProcessSnapshot> processes;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t actions = 0;
+  /// Frames the hardened decoder refused (0 on healthy links; mutation
+  /// tests inject and count them here).
+  std::uint64_t wire_rejects = 0;
+  /// Sends abandoned because shutdown arrived while backpressured.
+  std::uint64_t sends_abandoned = 0;
+  /// Peak per-process space over the run, in bits (Theorem 2/4 metric).
+  std::size_t peak_space_bits = 0;
+  /// Wall-clock duration of the election (start_election to last worker
+  /// exit), in nanoseconds.
+  std::uint64_t elapsed_ns = 0;
+  /// Merged per-worker telemetry: inhost_message_latency_ns histogram,
+  /// reject/abandon counters.
+  telemetry::MetricsRegistry metrics;
+  /// Firing records sorted by seq (empty unless config.record_trace).
+  std::vector<FiringRecord> trace;
+
+  /// The unique leader's pid, if exactly one process has isLeader.
+  [[nodiscard]] std::optional<sim::ProcessId> leader_pid() const;
+};
+
+/// Runs one election on the in-host runtime. Blocks until the run
+/// finishes. Spawns ring.size() worker threads plus a watchdog.
+[[nodiscard]] InHostResult run_inhost(const ring::LabeledRing& ring,
+                                      const sim::ProcessFactory& factory,
+                                      const InHostConfig& config = {});
+
+}  // namespace hring::runtime

@@ -1,0 +1,143 @@
+// Ring-membership bootstrap and liveness beats for the in-host runtime.
+//
+// A deployed ring is not born whole: nodes join, learn their successor,
+// and only then does an election start. This control plane reproduces
+// that shape in-host (after the join/set_next/start_election RPC
+// vocabulary of ring-membership services): every worker thread join()s,
+// the coordinator wires successors with set_next(), and start_election()
+// releases the workers held in await_start() — so the data plane
+// (runtime/inhost/inhost_links.hpp) only ever carries election traffic,
+// never bootstrap races.
+//
+// While running, each worker beat()s a per-worker counter; the watchdog
+// reads beats() to distinguish "parked but alive" (quiet ring, beats
+// advancing → deadlock in the model's sense) from a worker that never
+// reached the loop. Everything here is cold-path except beat(), which is
+// one relaxed store per loop iteration.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "support/assert.hpp"
+
+namespace hring::runtime {
+
+class RingMembership {
+ public:
+  explicit RingMembership(std::size_t n)
+      : n_(n),
+        next_(n, kUnset),
+        joined_(n, 0),
+        beats_(std::make_unique<BeatSlot[]>(n)) {
+    HRING_EXPECTS(n > 0);
+  }
+
+  /// Worker `pid` announces itself. Each pid joins exactly once.
+  void join(sim::ProcessId pid) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      HRING_EXPECTS(pid < n_);
+      HRING_EXPECTS(joined_[pid] == 0);  // double join is a bootstrap bug
+      joined_[pid] = 1;
+      ++joined_count_;
+    }
+    cv_.notify_all();
+  }
+
+  /// True once every worker joined.
+  [[nodiscard]] bool all_joined() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return joined_count_ == n_;
+  }
+
+  /// Blocks until every worker joined or `cancel` returns true (pair the
+  /// cancel with kick()). Returns all_joined().
+  template <class Cancel>
+  bool await_joined(Cancel cancel) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return joined_count_ == n_ || cancel(); });
+    return joined_count_ == n_;
+  }
+
+  /// Coordinator wires `pid`'s successor on the unidirectional ring.
+  void set_next(sim::ProcessId pid, sim::ProcessId next) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    HRING_EXPECTS(pid < n_ && next < n_);
+    HRING_EXPECTS(!started_);  // topology is frozen at start_election
+    next_[pid] = next;
+  }
+
+  [[nodiscard]] sim::ProcessId next_of(sim::ProcessId pid) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    HRING_EXPECTS(pid < n_);
+    HRING_EXPECTS(next_[pid] != kUnset);
+    return next_[pid];
+  }
+
+  /// Releases every worker held in await_start(). Requires a complete
+  /// bootstrap: all joined, every successor wired.
+  void start_election() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      HRING_EXPECTS(joined_count_ == n_);
+      for (const sim::ProcessId next : next_) HRING_EXPECTS(next != kUnset);
+      started_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Worker side: blocks until start_election() or `cancel` returns true.
+  /// Returns true iff the election actually started.
+  template <class Cancel>
+  bool await_start(Cancel cancel) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return started_ || cancel(); });
+    return started_;
+  }
+
+  /// Wakes every waiter (abort path).
+  void kick() { cv_.notify_all(); }
+
+  /// Liveness beat from worker `pid`; one relaxed store, called from the
+  /// worker's park loop.
+  // hring-lint: hot-path
+  void beat(sim::ProcessId pid) {
+    HRING_EXPECTS(pid < n_);
+    beats_[pid].count.store(
+        beats_[pid].count.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+  }
+
+  /// Beats observed from `pid` so far (watchdog side).
+  [[nodiscard]] std::uint64_t beats(sim::ProcessId pid) const {
+    HRING_EXPECTS(pid < n_);
+    return beats_[pid].count.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr sim::ProcessId kUnset = ~sim::ProcessId{0};
+
+  /// One beat counter per cache line: beats are the workers' only
+  /// all-threads-write-adjacent state; sharing lines would serialize the
+  /// park loops on coherence traffic.
+  struct alignas(64) BeatSlot {
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  std::size_t n_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<sim::ProcessId> next_;
+  std::vector<std::uint8_t> joined_;
+  std::size_t joined_count_ = 0;
+  bool started_ = false;
+  std::unique_ptr<BeatSlot[]> beats_;
+};
+
+}  // namespace hring::runtime

@@ -1,0 +1,163 @@
+// Lock-free single-producer/single-consumer byte queue.
+//
+// The in-host runtime's unidirectional link: the left neighbor's worker
+// thread writes wire frames (runtime/wire.hpp) at the tail, the right
+// neighbor's worker reads them at the head, and nobody ever takes a
+// lock — progress is wait-free on both sides (a full/empty queue makes
+// try_write/try_read return false; parking policy lives in the caller,
+// see Backoff below).
+//
+// Correctness is the classic Lamport ring buffer with C++11 orderings:
+// head_ is written only by the consumer, tail_ only by the producer;
+// each side reads its own index relaxed and the opposite index acquire,
+// and publishes its update with release. The release store of tail_
+// after the buffer write is what makes the consumer's acquire load see
+// complete frames — the byte copy happens-before the index publication.
+// Indices increase monotonically and are masked on access (capacity is a
+// power of two), so wraparound is free and a u64 cannot overflow in any
+// realistic run.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace hring::runtime {
+
+class SpscByteQueue {
+ public:
+  /// `capacity` in bytes; rounded up to a power of two, minimum 64.
+  explicit SpscByteQueue(std::size_t capacity) {
+    HRING_EXPECTS(capacity > 0);
+    std::size_t cap = 64;
+    while (cap < capacity) cap *= 2;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  /// Bytes currently queued, as seen by the consumer (exact for the
+  /// consumer; a lower bound for anyone else — the producer may be
+  /// mid-publication).
+  // hring-lint: hot-path
+  [[nodiscard]] std::size_t readable() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_relaxed);
+  }
+
+  /// Free space, as seen by the producer (exact for the producer).
+  // hring-lint: hot-path
+  [[nodiscard]] std::size_t writable() const {
+    return buf_.size() - (tail_.load(std::memory_order_relaxed) -
+                          head_.load(std::memory_order_acquire));
+  }
+
+  /// Producer side: appends all `len` bytes or nothing. Returns false
+  /// when fewer than `len` bytes are free.
+  // hring-lint: hot-path
+  [[nodiscard]] bool try_write(const std::uint8_t* data, std::size_t len) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (buf_.size() - static_cast<std::size_t>(tail - head) < len) {
+      return false;
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      buf_[static_cast<std::size_t>(tail + i) & mask_] = data[i];
+    }
+    tail_.store(tail + len, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: copies the next `len` bytes into `out` without
+  /// consuming them. Returns false when fewer than `len` are queued.
+  /// Only the consumer may call this (it reads at head_).
+  // hring-lint: hot-path
+  [[nodiscard]] bool try_peek(std::uint8_t* out, std::size_t len) const {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (static_cast<std::size_t>(tail - head) < len) return false;
+    for (std::size_t i = 0; i < len; ++i) {
+      out[i] = buf_[static_cast<std::size_t>(head + i) & mask_];
+    }
+    return true;
+  }
+
+  /// Consumer side: removes and copies the next `len` bytes, or nothing.
+  // hring-lint: hot-path
+  [[nodiscard]] bool try_read(std::uint8_t* out, std::size_t len) {
+    if (!try_peek(out, len)) return false;
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    head_.store(head + len, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: drops `len` bytes already seen via try_peek.
+  // hring-lint: hot-path
+  void discard(std::size_t len) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    HRING_EXPECTS(static_cast<std::size_t>(
+                      tail_.load(std::memory_order_acquire) - head) >= len);
+    head_.store(head + len, std::memory_order_release);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t mask_ = 0;
+  /// Producer and consumer indices on their own cache lines: the tight
+  /// SPSC loop would otherwise ping-pong one line between two cores.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer-owned
+};
+
+/// Adaptive parking for queue-full / queue-empty waits: spin briefly
+/// (the common case resolves in nanoseconds), then yield, then sleep —
+/// at 1000 workers per host the sleepers keep the run from melting the
+/// scheduler while the spin phase keeps small rings fast.
+class Backoff {
+ public:
+  // hring-lint: hot-path
+  void pause() {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      return;
+    }
+    if (spins_ < kSpinLimit + kYieldLimit) {
+      ++spins_;
+      std::this_thread::yield();
+      return;
+    }
+    // Doubling sleep, capped: long-idle workers (a 1000-ring process
+    // waiting for a token half the ring away) stop burning scheduler
+    // time, while a fresh waiter still reacts within microseconds.
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    sleep_us_ = std::min(sleep_us_ * 2, kSleepCapUs);
+  }
+
+  void reset() {
+    spins_ = 0;
+    sleep_us_ = kSleepStartUs;
+  }
+
+  /// True once the spin and yield phases are spent — the caller should
+  /// switch to real blocking (doorbell futex) instead of sleeping.
+  [[nodiscard]] bool exhausted() const {
+    return spins_ >= kSpinLimit + kYieldLimit;
+  }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 64;
+  static constexpr std::uint32_t kYieldLimit = 64;
+  static constexpr std::uint32_t kSleepStartUs = 50;
+  static constexpr std::uint32_t kSleepCapUs = 2000;
+  std::uint32_t spins_ = 0;
+  std::uint32_t sleep_us_ = kSleepStartUs;
+};
+
+}  // namespace hring::runtime

@@ -15,10 +15,10 @@ using sim::Message;
 using sim::Process;
 using sim::ProcessId;
 
-/// Shared run state: channels, processes, counters, shutdown flag.
+/// Shared run state: the channel ring, processes, counters, shutdown flag.
 struct Shared {
   std::vector<std::unique_ptr<Process>> procs;
-  std::vector<std::unique_ptr<Channel>> channels;  // [i]: p_i -> p_{i+1}
+  ChannelRing links;  // port i: p_i -> p_{i+1}
   alignas(64) std::atomic<std::uint64_t> actions{0};
   std::atomic<std::uint64_t> sent{0};
   std::atomic<std::uint64_t> received{0};
@@ -26,16 +26,14 @@ struct Shared {
   std::atomic<bool> shutdown{false};
   std::atomic<bool> budget_hit{false};
 
-  [[nodiscard]] Channel& in_channel(ProcessId pid) const {
-    return *channels[(pid + channels.size() - 1) % channels.size()];
+  [[nodiscard]] Channel& in_channel(ProcessId pid) {
+    return links.channel((pid + links.ports() - 1) % links.ports());
   }
-  [[nodiscard]] Channel& out_channel(ProcessId pid) const {
-    return *channels[pid];
+  [[nodiscard]] Channel& out_channel(ProcessId pid) {
+    return links.channel(pid);
   }
 
-  void kick_all() const {
-    for (const auto& channel : channels) channel->kick();
-  }
+  void kick_all() { links.kick_all(); }
 };
 
 /// Context for one firing on a worker thread. Sends take the neighbor's
@@ -55,7 +53,16 @@ class ThreadedContext final : public sim::Context {
 
   void send(const Message& msg) override {
     shared_.sent.fetch_add(1, std::memory_order_relaxed);
-    shared_.out_channel(pid_).push(msg);
+    // Bounded channel, kBlock policy: a full out-link parks this worker
+    // until the neighbor drains — unless the run is shutting down, in
+    // which case the send is abandoned (the run's result no longer
+    // depends on it; kick_all has already woken every parked waiter).
+    const bool pushed = shared_.out_channel(pid_).push(msg, [this] {
+      return shared_.shutdown.load(std::memory_order_relaxed);
+    });
+    if (!pushed) {
+      shared_.sent.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
 
   void note_action(std::string_view) override {}
@@ -120,10 +127,17 @@ ThreadedResult run_threaded(const ring::LabeledRing& ring,
   const std::size_t n = ring.size();
   Shared shared;
   shared.procs.reserve(n);
-  shared.channels.reserve(n);
+  // Channel capacity: in every algorithm here a link carries O(1)
+  // in-flight messages per process at a time; 2n+8 is far above any
+  // reachable depth while still bounding a runaway (a bug would hit
+  // backpressure, then the watchdog, instead of exhausting memory).
+  ChannelConfig channel_config;
+  channel_config.capacity =
+      config.channel_capacity > 0 ? config.channel_capacity : 2 * n + 8;
+  channel_config.policy = Backpressure::kBlock;
+  shared.links.reset(n, channel_config);
   for (ProcessId pid = 0; pid < n; ++pid) {
     shared.procs.push_back(factory(pid, ring.label(pid)));
-    shared.channels.push_back(std::make_unique<Channel>());
   }
   shared.workers_alive.store(n, std::memory_order_relaxed);
 
@@ -176,7 +190,7 @@ ThreadedResult run_threaded(const ring::LabeledRing& ring,
     snap.debug = p.debug_state();
     result.processes.push_back(std::move(snap));
     if (!p.halted()) clean = false;
-    if (!shared.channels[pid]->empty()) clean = false;
+    if (shared.links.depth(pid) != 0) clean = false;
   }
   if (shared.budget_hit.load(std::memory_order_relaxed)) {
     result.outcome = sim::Outcome::kBudgetExhausted;

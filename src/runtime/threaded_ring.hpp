@@ -31,6 +31,10 @@ struct ThreadedConfig {
   /// Watchdog quiet period (milliseconds of global inactivity) before a
   /// stalled run is declared deadlocked.
   std::uint64_t quiet_period_ms = 200;
+  /// Per-link channel capacity; 0 picks the default (2n + 8, far above
+  /// any reachable depth for the §III/§IV algorithms). A full link blocks
+  /// the sender until the neighbor drains (Backpressure::kBlock).
+  std::size_t channel_capacity = 0;
 };
 
 struct ThreadedResult {

@@ -1,0 +1,69 @@
+#include "runtime/wire.hpp"
+
+#include "support/assert.hpp"
+
+namespace hring::runtime::wire {
+namespace {
+
+void put_u64_le(std::uint64_t v, std::uint8_t* out) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+[[nodiscard]] std::uint64_t get_u64_le(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* decode_error_name(DecodeError error) {
+  switch (error) {
+    case DecodeError::kOk:
+      return "ok";
+    case DecodeError::kShortFrame:
+      return "short-frame";
+    case DecodeError::kBadTag:
+      return "bad-tag";
+    case DecodeError::kNonCanonical:
+      return "non-canonical";
+    case DecodeError::kLabelOverflow:
+      return "label-overflow";
+  }
+  return "unknown";
+}
+
+void encode(const sim::Message& msg, std::uint64_t send_ts_ns, Frame& out) {
+  // The engines only ever construct canonical messages; assert rather
+  // than silently emit a frame our own decoder would refuse.
+  HRING_EXPECTS(kind_has_payload(msg.kind) || msg.label.value() == 0);
+  out[0] = static_cast<std::uint8_t>(sim::kind_index(msg.kind));
+  put_u64_le(msg.label.value(), out.data() + 1);
+  put_u64_le(send_ts_ns, out.data() + 9);
+}
+
+DecodeError decode(std::span<const std::uint8_t> bytes,
+                   std::size_t label_bits, sim::Message& msg,
+                   std::uint64_t& send_ts_ns) {
+  if (bytes.size() < kFrameBytes) return DecodeError::kShortFrame;
+  const std::uint8_t tag = bytes[0];
+  if (tag >= sim::kNumMsgKinds) return DecodeError::kBadTag;
+  const auto kind = static_cast<sim::MsgKind>(tag);
+  const std::uint64_t label = get_u64_le(bytes.data() + 1);
+  if (!kind_has_payload(kind) && label != 0) {
+    return DecodeError::kNonCanonical;
+  }
+  if (kind_has_payload(kind) && label_bits < 64 &&
+      (label >> label_bits) != 0) {
+    return DecodeError::kLabelOverflow;
+  }
+  msg = sim::Message{kind, sim::Label(label)};
+  send_ts_ns = get_u64_le(bytes.data() + 9);
+  return DecodeError::kOk;
+}
+
+}  // namespace hring::runtime::wire

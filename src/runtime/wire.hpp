@@ -1,0 +1,68 @@
+// Wire frames: sim::Message serialized for a real transport.
+//
+// The simulator moves Message values between in-memory queues; the
+// in-host runtime (runtime/inhost/) moves *bytes* — each message crosses
+// a link as one fixed-size frame, so the runtime exercises the codec
+// path a distributed deployment would. The decoder applies the snapshot
+// codecs' hardening discipline (tests/election/codec_test.cpp): a frame
+// is either accepted bit-exactly or refused with a reason — short reads,
+// out-of-range tags, non-canonical payloads and over-wide labels are all
+// rejections, never undefined behavior. The mutation tests in
+// tests/runtime/wire_test.cpp attack every field.
+//
+// Layout (17 bytes, little-endian):
+//
+//   offset 0      kind tag       (1 byte; < sim::kNumMsgKinds)
+//   offset 1..8   label payload  (u64; must be 0 for payload-less kinds,
+//                                 and fit the ring's label_bits)
+//   offset 9..16  send timestamp (u64 nanoseconds; latency telemetry,
+//                                 not validated beyond being carried)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "sim/message.hpp"
+
+namespace hring::runtime::wire {
+
+/// Fixed frame size; every message occupies exactly this many bytes.
+inline constexpr std::size_t kFrameBytes = 17;
+
+using Frame = std::array<std::uint8_t, kFrameBytes>;
+
+/// Decode outcome; everything but kOk is a hardened rejection.
+enum class DecodeError : std::uint8_t {
+  kOk,
+  kShortFrame,      ///< fewer than kFrameBytes presented
+  kBadTag,          ///< kind tag >= sim::kNumMsgKinds
+  kNonCanonical,    ///< payload-less kind with a non-zero label field
+  kLabelOverflow,   ///< label does not fit the ring's label_bits
+};
+
+[[nodiscard]] const char* decode_error_name(DecodeError error);
+
+/// True iff messages of `kind` carry a label payload. ⟨FINISH⟩ is the one
+/// payload-less kind; its label field must be zero on the wire
+/// (canonical encoding — a mutated payload must not decode as valid).
+[[nodiscard]] constexpr bool kind_has_payload(sim::MsgKind kind) {
+  return kind != sim::MsgKind::kFinish;
+}
+
+/// Encodes `msg` into `out`. `send_ts_ns` is the sender's clock at
+/// enqueue time, carried for the receiver's latency histogram.
+void encode(const sim::Message& msg, std::uint64_t send_ts_ns, Frame& out);
+
+/// Decodes one frame from `bytes`. On kOk fills `msg` and `send_ts_ns`;
+/// on any rejection both outputs are untouched. `label_bits` is the
+/// ring's b: a label needing more bits than every ring label is not a
+/// message of the model (§II messages carry labels of the ring) and is
+/// refused — the runtime analogue of the auditor's [message-width]
+/// obligation.
+[[nodiscard]] DecodeError decode(std::span<const std::uint8_t> bytes,
+                                 std::size_t label_bits, sim::Message& msg,
+                                 std::uint64_t& send_ts_ns);
+
+}  // namespace hring::runtime::wire

@@ -27,8 +27,7 @@ void ExecutionCore::reset_core(const ring::LabeledRing& ring,
     HRING_ENSURES(processes_.back() != nullptr);
     HRING_ENSURES(processes_.back()->pid() == pid);
   }
-  if (links_.size() != n) links_.resize(n);
-  for (Link& link : links_) link.reset();
+  links_.reset(n);
   stats_.reset(n);
   observers_.clear();
   stop_ctx_ = nullptr;
@@ -44,19 +43,19 @@ const Process& ExecutionCore::process(ProcessId pid) const {
 }
 
 const Link& ExecutionCore::out_link(ProcessId pid) const {
-  HRING_EXPECTS(pid < links_.size());
+  HRING_EXPECTS(pid < links_.ports());
   return links_[pid];
 }
 
 Link& ExecutionCore::in_link_of(ProcessId pid) {
-  HRING_EXPECTS(pid < links_.size());
+  HRING_EXPECTS(pid < links_.ports());
   // pid is already reduced mod n: branch instead of hardware modulo on the
   // per-firing hot path.
-  return links_[pid == 0 ? links_.size() - 1 : pid - 1];
+  return links_[pid == 0 ? links_.ports() - 1 : pid - 1];
 }
 
 Link& ExecutionCore::out_link_of(ProcessId pid) {
-  HRING_EXPECTS(pid < links_.size());
+  HRING_EXPECTS(pid < links_.ports());
   return links_[pid];
 }
 
@@ -68,7 +67,7 @@ Process& ExecutionCore::mutable_process(ProcessId pid) {
 // hring-lint: hot-path
 const Message* ExecutionCore::deliverable_head(ProcessId pid,
                                                double now) const {
-  return links_[pid == 0 ? links_.size() - 1 : pid - 1].head(now);
+  return links_[pid == 0 ? links_.ports() - 1 : pid - 1].head(now);
 }
 
 bool ExecutionCore::terminal_is_clean() const {

@@ -28,6 +28,7 @@
 #include "sim/fault_model.hpp"
 #include "sim/link.hpp"
 #include "sim/observer.hpp"
+#include "sim/transport.hpp"
 #include "sim/process.hpp"
 #include "sim/run_result.hpp"
 #include "sim/scheduler.hpp"
@@ -143,7 +144,9 @@ class ExecutionCore : public ExecutionView {
   void update_space(ProcessId pid);
 
   std::vector<std::unique_ptr<Process>> processes_;
-  std::vector<Link> links_;  // links_[i]: p_i -> p_{i+1}
+  /// The engines' Transport backend (sim/transport.hpp): port i is the
+  /// link p_i -> p_{i+1}.
+  LinkArray links_;
   std::size_t label_bits_ = 0;
   /// Scratch event reused across firings; filled only when observers are
   /// attached (see ActionEvent's lifetime notes).

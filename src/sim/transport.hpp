@@ -1,0 +1,119 @@
+// The Transport seam: one concept under every message-carrying layer.
+//
+// Four backends move messages between ring neighbors:
+//
+//   * LinkArray   (this header)        — per-link ring buffers, the scalar
+//                                        step/event engines' storage;
+//   * LinkPlane   (sim/batch_link.hpp) — one arena for every link of every
+//                                        ring in a batch (batch engine);
+//   * ChannelRing (runtime/channel.hpp)— mutex+cv blocking channels, the
+//                                        threaded stress runtime;
+//   * InHostLinks (runtime/inhost/)    — lock-free SPSC *byte* queues with
+//                                        messages crossing as wire frames
+//                                        (runtime/wire.hpp), the first real
+//                                        asynchronous backend.
+//
+// All four model the §II unidirectional link S(p_i, p_{i+1}) and satisfy
+// the Transport concept below: port i carries messages from p_i to
+// p_{i+1}, send appends at the tail, try_recv removes the head, peek
+// exposes the head for guard evaluation (the model's message-blocking
+// rcv), depth is the number of in-flight messages. The seam is static —
+// a concept over value types, not a virtual interface — so each engine's
+// allocation-free hot path monomorphizes exactly as before.
+//
+// The concept states the step-engine regime (every queued message is
+// receivable). The discrete-event engine additionally stamps per-message
+// delivery times through Link's wider interface; a backend may offer more
+// than the concept, never less.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sim/link.hpp"
+#include "sim/message.hpp"
+#include "support/assert.hpp"
+
+namespace hring::sim {
+
+/// The unified message-transport concept. `port` indexes the ring's
+/// unidirectional links: port i is S(p_i, p_{i+1}).
+template <class T>
+concept Transport = requires(T t, const T& ct, std::size_t port,
+                             const Message& msg) {
+  // Appends `msg` at the tail of `port` (may block or apply backpressure
+  // policy in concurrent backends).
+  { t.send(port, msg) };
+  // Removes and returns the head of `port`; nullopt when empty.
+  { t.try_recv(port) } -> std::same_as<std::optional<Message>>;
+  // Head of `port` without consuming it, nullptr when empty. The pointer
+  // stays valid until the next try_recv/send on the same port by the
+  // port's consumer (single-consumer discipline).
+  { t.peek(port) } -> std::same_as<const Message*>;
+  // Number of in-flight messages on `port`.
+  { ct.depth(port) } -> std::convertible_to<std::size_t>;
+  // Number of ports (= ring size n).
+  { ct.ports() } -> std::convertible_to<std::size_t>;
+};
+
+/// The scalar engines' transport: one sim::Link per port. A thin owner of
+/// the link vector ExecutionCore used to hold inline; the engines keep
+/// addressing individual Links (delivery times, high-water marks, fault
+/// surgery) through link()/operator[], while sweeps and tests can drive it
+/// through the uniform Transport face.
+class LinkArray {
+ public:
+  /// Rebinds to `ports` links, all empty, keeping every buffer's capacity
+  /// (Link::reset) — the recycled-execution contract of ExecutionCore.
+  void reset(std::size_t ports) {
+    if (links_.size() != ports) links_.resize(ports);
+    for (Link& link : links_) link.reset();
+  }
+
+  [[nodiscard]] Link& operator[](std::size_t port) {
+    HRING_EXPECTS(port < links_.size());
+    return links_[port];
+  }
+  [[nodiscard]] const Link& operator[](std::size_t port) const {
+    HRING_EXPECTS(port < links_.size());
+    return links_[port];
+  }
+
+  [[nodiscard]] auto begin() const { return links_.begin(); }
+  [[nodiscard]] auto end() const { return links_.end(); }
+
+  // -- Transport face (step-engine regime: delivery time 0) ----------------
+  // hring-lint: hot-path
+  void send(std::size_t port, const Message& msg) {
+    HRING_EXPECTS(port < links_.size());
+    links_[port].push(msg);
+  }
+
+  // hring-lint: hot-path
+  [[nodiscard]] const Message* peek(std::size_t port) const {
+    HRING_EXPECTS(port < links_.size());
+    return links_[port].head();
+  }
+
+  [[nodiscard]] std::optional<Message> try_recv(std::size_t port) {
+    HRING_EXPECTS(port < links_.size());
+    if (links_[port].empty()) return std::nullopt;
+    return links_[port].pop();
+  }
+
+  [[nodiscard]] std::size_t depth(std::size_t port) const {
+    HRING_EXPECTS(port < links_.size());
+    return links_[port].size();
+  }
+
+  [[nodiscard]] std::size_t ports() const { return links_.size(); }
+
+ private:
+  std::vector<Link> links_;
+};
+
+static_assert(Transport<LinkArray>);
+
+}  // namespace hring::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -61,6 +63,62 @@ TEST(ChannelTest, WaitForChangeReturnsOnWakePredicate) {
   channel.wait_for_change(0, [&] { return stop.load(); });
   kicker.join();
   EXPECT_TRUE(stop.load());
+}
+
+TEST(ChannelTest, ZeroCapacityViolatesPrecondition) {
+  // Capacity is an explicit policy now; a zero-capacity channel could
+  // never deliver anything and must fail construction loudly.
+  EXPECT_DEATH(Channel(ChannelConfig{.capacity = 0}), "precondition");
+}
+
+TEST(ChannelTest, FailPolicyRefusesWhenFull) {
+  Channel channel(
+      ChannelConfig{.capacity = 2, .policy = Backpressure::kFail});
+  EXPECT_TRUE(channel.push(Message::token(Label(1))));
+  EXPECT_TRUE(channel.push(Message::token(Label(2))));
+  EXPECT_FALSE(channel.push(Message::token(Label(3))));  // full: refused
+  EXPECT_EQ(channel.size(), 2u);
+  EXPECT_EQ(channel.pop().label, Label(1));
+  EXPECT_TRUE(channel.push(Message::token(Label(4))));  // room again
+  EXPECT_EQ(channel.pop().label, Label(2));
+  EXPECT_EQ(channel.pop().label, Label(4));
+}
+
+TEST(ChannelTest, BlockPolicyParksProducerUntilConsumerDrains) {
+  Channel channel(
+      ChannelConfig{.capacity = 1, .policy = Backpressure::kBlock});
+  ASSERT_TRUE(channel.push(Message::token(Label(1))));
+  std::atomic<bool> second_done{false};
+  std::thread producer([&] {
+    // Full channel: this blocks until the consumer pops.
+    EXPECT_TRUE(channel.push(Message::token(Label(2))));
+    second_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(second_done.load());  // still parked on the full channel
+  EXPECT_EQ(channel.pop().label, Label(1));
+  producer.join();
+  EXPECT_TRUE(second_done.load());
+  EXPECT_EQ(channel.pop().label, Label(2));
+}
+
+TEST(ChannelTest, BlockedPushCanceledByPredicate) {
+  Channel channel(
+      ChannelConfig{.capacity = 1, .policy = Backpressure::kBlock});
+  ASSERT_TRUE(channel.push(Message::token(Label(1))));
+  std::atomic<bool> cancel{false};
+  std::thread producer([&] {
+    // The runtime's shutdown path: a parked producer must observe the
+    // cancel flag once kicked and give up without enqueuing.
+    EXPECT_FALSE(channel.push(Message::token(Label(2)), [&] {
+      return cancel.load(std::memory_order_relaxed);
+    }));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cancel.store(true, std::memory_order_relaxed);
+  channel.kick();
+  producer.join();
+  EXPECT_EQ(channel.size(), 1u);  // the canceled message never arrived
 }
 
 TEST(ChannelTest, ManyProducersOneConsumer) {

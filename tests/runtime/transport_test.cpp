@@ -1,0 +1,109 @@
+// The Transport seam: all four backends satisfy the concept, and the
+// uniform vocabulary behaves identically (FIFO, peek-stability, depth)
+// across them — the property that lets one harness drive the simulator
+// engines and the concurrent runtimes interchangeably.
+#include "sim/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/channel.hpp"
+#include "runtime/inhost/inhost_links.hpp"
+#include "sim/batch_link.hpp"
+
+namespace hring {
+namespace {
+
+using runtime::ChannelRing;
+using runtime::InHostLinks;
+using sim::Label;
+using sim::LinkArray;
+using sim::LinkPlane;
+using sim::Message;
+using sim::Transport;
+
+// The seam is a concept, not a base class: conformance is compile-time.
+static_assert(Transport<LinkArray>);
+static_assert(Transport<LinkPlane>);
+static_assert(Transport<ChannelRing>);
+static_assert(Transport<InHostLinks>);
+
+/// Drives the uniform vocabulary over any backend bound to >= 2 ports.
+template <class T>
+void exercise_transport(T& transport) {
+  ASSERT_GE(transport.ports(), 2u);
+  EXPECT_EQ(transport.depth(0), 0u);
+  EXPECT_EQ(transport.peek(0), nullptr);
+  EXPECT_FALSE(transport.try_recv(0).has_value());
+
+  // FIFO per port, ports independent.
+  transport.send(0, Message::token(Label(1)));
+  transport.send(0, Message::token(Label(2)));
+  transport.send(1, Message::finish());
+  EXPECT_EQ(transport.depth(0), 2u);
+  EXPECT_EQ(transport.depth(1), 1u);
+
+  // Peek exposes the head without consuming; repeated peeks agree.
+  const Message* head = transport.peek(0);
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(*head, Message::token(Label(1)));
+  const Message* again = transport.peek(0);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(*again, Message::token(Label(1)));
+  EXPECT_EQ(transport.depth(0), 2u);
+
+  // try_recv removes in send order.
+  auto first = transport.try_recv(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, Message::token(Label(1)));
+  auto second = transport.try_recv(0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, Message::token(Label(2)));
+  EXPECT_FALSE(transport.try_recv(0).has_value());
+  EXPECT_EQ(transport.depth(0), 0u);
+
+  // Port 1 was untouched by port 0 traffic.
+  auto other = transport.try_recv(1);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(*other, Message::finish());
+}
+
+TEST(TransportTest, LinkArrayBehavior) {
+  LinkArray links;
+  links.reset(3);
+  exercise_transport(links);
+}
+
+TEST(TransportTest, LinkPlaneBehavior) {
+  LinkPlane links;
+  links.reset(3);
+  exercise_transport(links);
+}
+
+TEST(TransportTest, ChannelRingBehavior) {
+  ChannelRing links;
+  links.reset(3);
+  exercise_transport(links);
+}
+
+TEST(TransportTest, InHostLinksBehavior) {
+  InHostLinks links;
+  links.reset(3, /*label_bits=*/8, /*capacity_bytes=*/1024);
+  exercise_transport(links);
+}
+
+TEST(TransportTest, LinkArrayKeepsDirectLinkAccess) {
+  // The scalar engines keep addressing individual Links (delivery times,
+  // high-water marks) through operator[]; the Transport face is a view
+  // over the same queues, not a copy.
+  LinkArray links;
+  links.reset(2);
+  links.send(0, Message::token(Label(5)));
+  EXPECT_EQ(links[0].size(), 1u);
+  EXPECT_EQ(links[0].high_water(), 1u);
+  const Message popped = links[0].pop();
+  EXPECT_EQ(popped, Message::token(Label(5)));
+  EXPECT_EQ(links.depth(0), 0u);
+}
+
+}  // namespace
+}  // namespace hring
