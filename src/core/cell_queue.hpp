@@ -47,6 +47,7 @@ class CellQueue {
 
   /// Claims the next span; empty() once the queue is exhausted. Wait-free:
   /// one fetch_add per claim.
+  // hring-role: consumer
   [[nodiscard]] Span pop() {
     const std::size_t begin =
         next_.fetch_add(grain_, std::memory_order_relaxed);
@@ -62,6 +63,7 @@ class CellQueue {
   std::size_t grain_;
   // Every worker fetch_adds this cursor; keep it off the cache line that
   // holds the read-only cells_/grain_ configuration.
+  // hring-shared: consumer
   alignas(64) std::atomic<std::size_t> next_{0};
 };
 

@@ -69,7 +69,9 @@ class Channel {
       std::unique_lock<std::mutex> lock(mutex_);
       if (queue_.size() >= config_.capacity) {
         if (config_.policy == Backpressure::kFail) return false;
-        cv_.wait(lock, [&] {
+        // Parking here is the point of kBlock: backpressure stops the
+        // producer until the consumer makes room or cancel() fires.
+        cv_.wait(lock, [&] {  // hring-nolint(no-block-in-hot-path): backpressure park
           return queue_.size() < config_.capacity || cancel();
         });
         if (queue_.size() >= config_.capacity) return false;  // canceled

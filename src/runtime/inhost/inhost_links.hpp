@@ -92,6 +92,7 @@ class InHostLinks {
   /// re-check the queue (peek), and only then doorbell_wait(ticket) — the
   /// producer publishes its frame *before* ringing, so a consumer that
   /// missed the frame is guaranteed a changed ticket or a pending notify.
+  // hring-role: consumer
   [[nodiscard]] std::uint64_t doorbell(std::size_t port) const {
     HRING_EXPECTS(port < ports());
     return doorbells_[port].value.load(std::memory_order_acquire);
@@ -101,6 +102,7 @@ class InHostLinks {
   /// past `ticket`: a new frame arrived, or ring_all() was called. Idle
   /// workers cost zero CPU this way — essential when the host runs many
   /// more workers than cores.
+  // hring-role: consumer
   void doorbell_wait(std::size_t port, std::uint64_t ticket) const {
     HRING_EXPECTS(port < ports());
     doorbells_[port].value.wait(ticket, std::memory_order_acquire);
@@ -108,6 +110,7 @@ class InHostLinks {
 
   /// Rings every doorbell (shutdown path: wake all parked consumers so
   /// they can observe the stop flag and exit).
+  // hring-role: coordinator
   void ring_all() {
     for (std::size_t port = 0; port < ports(); ++port) {
       doorbells_[port].value.fetch_add(1, std::memory_order_release);
@@ -211,10 +214,12 @@ class InHostLinks {
   /// One cache line per port: bumped by the producer after each publish,
   /// waited on (futex) by the parked consumer, kicked by ring_all().
   struct alignas(64) Doorbell {
+    // hring-shared: producer,coordinator->consumer
     std::atomic<std::uint64_t> value{0};
   };
 
   // hring-lint: hot-path
+  // hring-role: producer
   void ring(std::size_t port) {
     doorbells_[port].value.fetch_add(1, std::memory_order_release);
     doorbells_[port].value.notify_one();

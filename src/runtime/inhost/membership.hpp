@@ -107,6 +107,7 @@ class RingMembership {
   /// Liveness beat from worker `pid`; one relaxed store, called from the
   /// worker's park loop.
   // hring-lint: hot-path
+  // hring-role: consumer
   void beat(sim::ProcessId pid) {
     HRING_EXPECTS(pid < n_);
     beats_[pid].count.store(
@@ -115,6 +116,7 @@ class RingMembership {
   }
 
   /// Beats observed from `pid` so far (watchdog side).
+  // hring-role: watchdog
   [[nodiscard]] std::uint64_t beats(sim::ProcessId pid) const {
     HRING_EXPECTS(pid < n_);
     return beats_[pid].count.load(std::memory_order_relaxed);
@@ -127,6 +129,7 @@ class RingMembership {
   /// all-threads-write-adjacent state; sharing lines would serialize the
   /// park loops on coherence traffic.
   struct alignas(64) BeatSlot {
+    // hring-shared: consumer,watchdog
     std::atomic<std::uint64_t> count{0};
   };
 

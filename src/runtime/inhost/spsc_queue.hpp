@@ -47,6 +47,7 @@ class SpscByteQueue {
   /// consumer; a lower bound for anyone else — the producer may be
   /// mid-publication).
   // hring-lint: hot-path
+  // hring-role: consumer
   [[nodiscard]] std::size_t readable() const {
     return tail_.load(std::memory_order_acquire) -
            head_.load(std::memory_order_relaxed);
@@ -54,6 +55,7 @@ class SpscByteQueue {
 
   /// Free space, as seen by the producer (exact for the producer).
   // hring-lint: hot-path
+  // hring-role: producer
   [[nodiscard]] std::size_t writable() const {
     return buf_.size() - (tail_.load(std::memory_order_relaxed) -
                           head_.load(std::memory_order_acquire));
@@ -62,6 +64,7 @@ class SpscByteQueue {
   /// Producer side: appends all `len` bytes or nothing. Returns false
   /// when fewer than `len` bytes are free.
   // hring-lint: hot-path
+  // hring-role: producer
   [[nodiscard]] bool try_write(const std::uint8_t* data, std::size_t len) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     const std::uint64_t head = head_.load(std::memory_order_acquire);
@@ -79,6 +82,7 @@ class SpscByteQueue {
   /// consuming them. Returns false when fewer than `len` are queued.
   /// Only the consumer may call this (it reads at head_).
   // hring-lint: hot-path
+  // hring-role: consumer
   [[nodiscard]] bool try_peek(std::uint8_t* out, std::size_t len) const {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     const std::uint64_t tail = tail_.load(std::memory_order_acquire);
@@ -91,6 +95,7 @@ class SpscByteQueue {
 
   /// Consumer side: removes and copies the next `len` bytes, or nothing.
   // hring-lint: hot-path
+  // hring-role: consumer
   [[nodiscard]] bool try_read(std::uint8_t* out, std::size_t len) {
     if (!try_peek(out, len)) return false;
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
@@ -100,6 +105,7 @@ class SpscByteQueue {
 
   /// Consumer side: drops `len` bytes already seen via try_peek.
   // hring-lint: hot-path
+  // hring-role: consumer
   void discard(std::size_t len) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     HRING_EXPECTS(static_cast<std::size_t>(
@@ -112,16 +118,42 @@ class SpscByteQueue {
   std::size_t mask_ = 0;
   /// Producer and consumer indices on their own cache lines: the tight
   /// SPSC loop would otherwise ping-pong one line between two cores.
-  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer-owned
-  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer-owned
+  // hring-shared: consumer->producer
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  // hring-shared: producer->consumer
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+/// Default parking hooks for BasicBackoff: real scheduler yields and
+/// real sleeps. Tests inject a recording policy instead to pin down the
+/// exact escalation thresholds without wall-clock time.
+struct ThreadPark {
+  static void yield() {
+    // The ladder's yield rung is the parking policy itself, not a stall
+    // on a hot path.
+    std::this_thread::yield();  // hring-nolint(no-block-in-hot-path): ladder rung
+  }
+  static void sleep_us(std::uint32_t us) {
+    // Same: the sleep rung is deliberate de-scheduling.
+    std::this_thread::sleep_for(std::chrono::microseconds(us));  // hring-nolint(no-block-in-hot-path): ladder rung
+  }
 };
 
 /// Adaptive parking for queue-full / queue-empty waits: spin briefly
 /// (the common case resolves in nanoseconds), then yield, then sleep —
 /// at 1000 workers per host the sleepers keep the run from melting the
 /// scheduler while the spin phase keeps small rings fast.
-class Backoff {
+///
+/// `Park` supplies the two escalation primitives (see ThreadPark); the
+/// ladder logic itself is deterministic and unit-testable.
+template <class Park = ThreadPark>
+class BasicBackoff {
  public:
+  static constexpr std::uint32_t kSpinLimit = 64;
+  static constexpr std::uint32_t kYieldLimit = 64;
+  static constexpr std::uint32_t kSleepStartUs = 50;
+  static constexpr std::uint32_t kSleepCapUs = 2000;
+
   // hring-lint: hot-path
   void pause() {
     if (spins_ < kSpinLimit) {
@@ -130,13 +162,13 @@ class Backoff {
     }
     if (spins_ < kSpinLimit + kYieldLimit) {
       ++spins_;
-      std::this_thread::yield();
+      Park::yield();
       return;
     }
     // Doubling sleep, capped: long-idle workers (a 1000-ring process
     // waiting for a token half the ring away) stop burning scheduler
     // time, while a fresh waiter still reacts within microseconds.
-    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    Park::sleep_us(sleep_us_);
     sleep_us_ = std::min(sleep_us_ * 2, kSleepCapUs);
   }
 
@@ -152,12 +184,10 @@ class Backoff {
   }
 
  private:
-  static constexpr std::uint32_t kSpinLimit = 64;
-  static constexpr std::uint32_t kYieldLimit = 64;
-  static constexpr std::uint32_t kSleepStartUs = 50;
-  static constexpr std::uint32_t kSleepCapUs = 2000;
   std::uint32_t spins_ = 0;
   std::uint32_t sleep_us_ = kSleepStartUs;
 };
+
+using Backoff = BasicBackoff<>;
 
 }  // namespace hring::runtime

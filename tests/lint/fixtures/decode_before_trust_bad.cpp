@@ -1,0 +1,81 @@
+// hring-lint fixture: seeded decode-before-trust violations.
+//
+// This file is linted, never compiled. Raw wire bytes (wire::Frame
+// locals, uint8_t buffers) carry no authority until wire::decode has
+// validated them — the hardened runtime drops undecodable frames rather
+// than acting on them. Reading a tainted buffer's content outside a
+// laundering call (decode/encode, the queue byte movers, memcpy/memcmp)
+// is exactly how a corrupted frame would steer the election; shape
+// queries (size(), data()) and writes INTO the buffer are fine.
+#include <cstdint>
+
+namespace wire {
+struct Frame {
+  std::uint8_t bytes[32];
+  [[nodiscard]] std::uint8_t* data() { return bytes; }
+  [[nodiscard]] const std::uint8_t* data() const { return bytes; }
+  [[nodiscard]] static constexpr unsigned size() { return 32; }
+};
+}  // namespace wire
+
+namespace fixture {
+
+struct Queue {
+  [[nodiscard]] bool try_peek(std::uint8_t*, unsigned) { return true; }
+  void discard(unsigned) {}
+};
+
+struct Msg {
+  std::uint8_t kind = 0;
+};
+
+bool decode(const wire::Frame&, Msg&);
+
+class BadReceiver {
+ public:
+  void poll(Queue& q) {
+    wire::Frame frame;
+    if (!q.try_peek(frame.data(), frame.size())) return;
+    // Branching on undecoded content: a corrupted frame steers state.
+    if (frame.bytes[0] == 7) {  // hring-expect: decode-before-trust
+      leader_seen_ = true;
+    }
+    q.discard(frame.size());
+  }
+
+  void sniff(Queue& q) {
+    std::uint8_t raw[16];
+    if (!q.try_peek(raw, 16)) return;
+    last_kind_ = raw[1];  // hring-expect: decode-before-trust
+  }
+
+ private:
+  bool leader_seen_ = false;
+  std::uint8_t last_kind_ = 0;
+};
+
+// The clean twin: bytes flow only through laundering calls and shape
+// queries until decode() validates them; content is read from the
+// decoded message, never the buffer.
+class CleanReceiver {
+ public:
+  void poll(Queue& q) {
+    wire::Frame frame;
+    if (!q.try_peek(frame.data(), frame.size())) return;
+    Msg msg;
+    if (decode(frame, msg)) {
+      leader_seen_ = (msg.kind == 7);
+    }
+    q.discard(frame.size());
+  }
+
+  void fill_pattern() {
+    std::uint8_t raw[16];
+    for (unsigned i = 0; i < 16; ++i) raw[i] = 0;
+  }
+
+ private:
+  bool leader_seen_ = false;
+};
+
+}  // namespace fixture

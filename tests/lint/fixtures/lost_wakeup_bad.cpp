@@ -1,0 +1,116 @@
+// hring-lint fixture: seeded lost-wakeup violations.
+//
+// This file is linted, never compiled. The doorbell protocol tolerates
+// every legal interleaving only if three habits hold: a futex wait sits
+// inside a loop that re-checks the predicate (a notify landing between
+// check and wait is otherwise lost forever), a notify happens after the
+// publication store on every path (else the woken side re-checks, sees
+// nothing, and parks again), and condition-variable waits use the
+// two-argument predicate form. Named park primitives (*wait*/*park*)
+// may hold the bare futex wait — the loop obligation then moves to
+// every call site.
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+class BadDoorbell {
+ public:
+  void consume_once(std::uint64_t ticket) {
+    bell_.wait(ticket, std::memory_order_acquire);  // hring-expect: lost-wakeup
+    drain();
+  }
+
+  void ring_empty() {
+    // Rings without publishing anything: the consumer wakes, re-checks,
+    // finds nothing, parks again — the wakeup bought nothing.
+    bell_.notify_one();  // hring-expect: lost-wakeup
+  }
+
+  void ring_sometimes(bool urgent) {
+    if (urgent) {
+      bell_.fetch_add(1, std::memory_order_release);
+    }
+    bell_.notify_one();  // hring-expect: lost-wakeup
+  }
+
+  void drain() {}
+
+ private:
+  std::atomic<std::uint64_t> bell_{0};
+};
+
+class BadCv {
+ public:
+  void block() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock);  // hring-expect: lost-wakeup
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+class BadParkCaller {
+ public:
+  // The bare futex wait is legal here: the name transfers the re-check
+  // obligation to callers.
+  void park_wait(std::uint64_t ticket) const {
+    bell_.wait(ticket, std::memory_order_acquire);
+  }
+
+  void step() {
+    const std::uint64_t ticket = bell_.load(std::memory_order_acquire);
+    park_wait(ticket);  // hring-expect: lost-wakeup
+  }
+
+ private:
+  std::atomic<std::uint64_t> bell_{0};
+};
+
+// The clean twin: waits loop, the notify follows its publication, the
+// cv wait re-checks via predicate, and the park-primitive call site
+// loops around its re-check.
+class CleanDoorbell {
+ public:
+  void consume(std::uint64_t ticket) {
+    while (!ready()) {
+      bell_.wait(ticket, std::memory_order_acquire);
+    }
+    drain();
+  }
+
+  void ring() {
+    bell_.fetch_add(1, std::memory_order_release);
+    bell_.notify_one();
+  }
+
+  void park_wait(std::uint64_t ticket) const {
+    bell_.wait(ticket, std::memory_order_acquire);
+  }
+
+  void step() {
+    while (!ready()) {
+      const std::uint64_t ticket = bell_.load(std::memory_order_acquire);
+      park_wait(ticket);
+    }
+  }
+
+  void block() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return ready(); });
+  }
+
+  [[nodiscard]] bool ready() const { return false; }
+  void drain() {}
+
+ private:
+  std::atomic<std::uint64_t> bell_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,67 @@
+// hring-lint fixture: seeded pairing violations.
+//
+// This file is linted, never compiled. A release publication only
+// synchronizes with an acquire-side observer of the same atomic; a
+// release store nobody acquires (or an acquire load nobody releases
+// into) is ordering spent on nothing — usually a refactor left one side
+// behind, or the other side lives in a file the protocol never links.
+// Standalone fences are flagged the same way: an atomic_thread_fence
+// needs its partner fence or operation in the same translation unit.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class HalfPublished {
+ public:
+  void publish(std::uint64_t v) {
+    seq_.store(v, std::memory_order_release);  // hring-expect: pairing
+  }
+
+  [[nodiscard]] std::uint64_t peek() const {
+    // Relaxed on the read side: the release above never synchronizes.
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+class HalfObserved {
+ public:
+  void bump() { epoch_.store(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::uint64_t wait_epoch() const {
+    return epoch_.load(std::memory_order_acquire);  // hring-expect: pairing
+  }
+
+ private:
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+inline void lone_fence(std::atomic<int>& flag) {
+  flag.store(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);  // hring-expect: pairing
+}
+
+// The clean twin: the release store meets an acquire load, and the
+// acq_rel ticket both publishes and observes (it pairs with itself
+// across threads — the doorbell idiom).
+class CleanPair {
+ public:
+  void publish(std::uint64_t v) {
+    out_.store(v, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint64_t observe() const {
+    return out_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t ring() { return ticket_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<std::uint64_t> out_{0};
+  std::atomic<std::uint64_t> ticket_{0};
+};
+
+}  // namespace fixture

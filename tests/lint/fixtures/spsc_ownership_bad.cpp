@@ -1,0 +1,82 @@
+// hring-lint fixture: seeded spsc-ownership violations.
+//
+// This file is linted, never compiled. hring-shared declares who may
+// touch a cross-thread atomic: the arrow form `owner->readers` is the
+// single-owner publication discipline (owner stores release / loads its
+// own value relaxed; readers load acquire; nobody else touches it), the
+// list form is plain access control. hring-role attributes each function
+// to a thread role so the checker can tell owner from reader from
+// outsider.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class BadIndexPair {
+ public:
+  // hring-role: consumer
+  void advance(std::uint64_t n) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    head_.store(head + n, std::memory_order_relaxed);  // hring-expect: spsc-ownership
+  }
+
+  // hring-role: producer
+  [[nodiscard]] std::uint64_t head_snapshot() const {
+    return head_.load(std::memory_order_relaxed);  // hring-expect: spsc-ownership
+  }
+
+  // hring-role: watchdog
+  [[nodiscard]] std::uint64_t spy() const {
+    return head_.load(std::memory_order_acquire);  // hring-expect: spsc-ownership
+  }
+
+  [[nodiscard]] std::uint64_t unattributed() const {
+    return head_.load(std::memory_order_acquire);  // hring-expect: spsc-ownership
+  }
+
+ private:
+  // hring-shared: consumer->producer
+  std::atomic<std::uint64_t> head_{0};
+};
+
+class BadRoster {
+ public:
+  // hring-role: janitor  -- hring-expect: spsc-ownership
+  void sweep() {
+    ticks_.store(0, std::memory_order_release);  // hring-expect: spsc-ownership
+  }
+
+ private:
+  // hring-shared: consumer,watchdog
+  std::atomic<std::uint64_t> ticks_{0};
+};
+
+// The clean twin: owner publishes with release and reads itself relaxed,
+// the reader loads acquire, and the list-form counter is only touched by
+// its listed roles.
+class CleanIndexPair {
+ public:
+  // hring-role: consumer
+  void advance(std::uint64_t n) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    head_.store(head + n, std::memory_order_release);
+  }
+
+  // hring-role: producer
+  [[nodiscard]] std::uint64_t head_snapshot() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  // hring-role: watchdog
+  [[nodiscard]] std::uint64_t beats() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // hring-shared: consumer->producer
+  std::atomic<std::uint64_t> head_{0};
+  // hring-shared: consumer,watchdog
+  std::atomic<std::uint64_t> ticks_{0};
+};
+
+}  // namespace fixture

@@ -5,9 +5,14 @@
 // these tests pin the primitives they are built on.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
+#include "tools/hring_lint/cache.hpp"
 #include "tools/hring_lint/checks.hpp"
+#include "tools/hring_lint/concurrency_model.hpp"
 #include "tools/hring_lint/lexer.hpp"
 #include "tools/hring_lint/protocol_model.hpp"
 #include "tools/hring_lint/source_model.hpp"
@@ -304,6 +309,191 @@ TEST(Canonical, DecisionSequenceWalksNestedControlFlow) {
   EXPECT_EQ(d[2], "case MsgKind :: kToken");
   EXPECT_EQ(d[3], "if(x > @id)");
   EXPECT_EQ(d[4], "default");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency model: roles, shared declarations, and the statement tree
+// the lost-wakeup / spsc-ownership checks query.
+
+TEST(ConcurrencyRoles, ParseAndRenderRoundTrip) {
+  ASSERT_TRUE(parse_role("producer").has_value());
+  EXPECT_EQ(*parse_role("watchdog"), Role::kWatchdog);
+  EXPECT_FALSE(parse_role("janitor").has_value());
+  RoleSet set;
+  set.add(Role::kConsumer);
+  set.add(Role::kWatchdog);
+  EXPECT_TRUE(set.contains(Role::kConsumer));
+  EXPECT_FALSE(set.contains(Role::kProducer));
+  EXPECT_EQ(set.render(), "consumer,watchdog");
+}
+
+TEST(ConcurrencyRoles, FunctionRoleBindsWithinFourLines) {
+  const SourceFile f = lex_snippet(
+      "// hring-role: consumer\n"
+      "// hring-lint: hot-path\n"
+      "void near() {}\n"
+      "\n"
+      "\n"
+      "\n"
+      "\n"
+      "void far() {}\n");
+  EXPECT_EQ(function_role(f, 3), Role::kConsumer);
+  EXPECT_FALSE(function_role(f, 8).has_value());
+}
+
+TEST(ConcurrencyRoles, SharedDeclsArrowListAndMalformed) {
+  const SourceFile f = lex_snippet(
+      "class Q {\n"
+      "  // hring-shared: producer,coordinator->consumer\n"
+      "  std::atomic<int> tail_{0};\n"
+      "  // hring-shared: consumer,watchdog\n"
+      "  std::atomic<int> beats_{0};\n"
+      "  // hring-shared: producer->gremlin\n"
+      "  std::atomic<int> broken_{0};\n"
+      "};\n");
+  const std::vector<SharedDecl> decls = shared_decls(f);
+  ASSERT_EQ(decls.size(), 3u);
+  EXPECT_EQ(decls[0].member, "tail_");
+  EXPECT_TRUE(decls[0].has_arrow);
+  EXPECT_TRUE(decls[0].writers.contains(Role::kProducer));
+  EXPECT_TRUE(decls[0].writers.contains(Role::kCoordinator));
+  EXPECT_TRUE(decls[0].readers.contains(Role::kConsumer));
+  EXPECT_FALSE(decls[0].malformed);
+  EXPECT_EQ(decls[1].member, "beats_");
+  EXPECT_FALSE(decls[1].has_arrow);
+  EXPECT_TRUE(decls[1].writers.contains(Role::kWatchdog));
+  EXPECT_FALSE(decls[1].malformed);
+  EXPECT_TRUE(decls[2].malformed);
+}
+
+std::size_t tok_index(const SourceFile& f, std::string_view text) {
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    if (f.tokens[i].is(text)) return i;
+  }
+  ADD_FAILURE() << "token not found: " << text;
+  return 0;
+}
+
+TEST(ConcurrencyStmts, LoopEnclosureSeesBodyAndCondition) {
+  const SourceFile f = lex_snippet(
+      "before();\n"
+      "while (guard()) { inside(); }\n"
+      "for (int i = 0; probe(i); ++i) { body(); }\n"
+      "after();\n");
+  const Stmt tree = build_stmt_tree(f, 0, f.tokens.size() - 1);
+  EXPECT_FALSE(loop_enclosed(tree, tok_index(f, "before")));
+  EXPECT_TRUE(loop_enclosed(tree, tok_index(f, "guard")));
+  EXPECT_TRUE(loop_enclosed(tree, tok_index(f, "inside")));
+  EXPECT_TRUE(loop_enclosed(tree, tok_index(f, "probe")));
+  EXPECT_TRUE(loop_enclosed(tree, tok_index(f, "body")));
+  EXPECT_FALSE(loop_enclosed(tree, tok_index(f, "after")));
+}
+
+TEST(ConcurrencyStmts, DominationRequiresEveryPath) {
+  const SourceFile f = lex_snippet(
+      "publish();\n"
+      "if (urgent) { maybe(); }\n"
+      "notify();\n");
+  const Stmt tree = build_stmt_tree(f, 0, f.tokens.size() - 1);
+  const std::size_t notify = tok_index(f, "notify");
+  const std::size_t publish = tok_index(f, "publish");
+  const std::size_t maybe = tok_index(f, "maybe");
+  // The unconditional statement dominates; the branch-only one does not.
+  EXPECT_TRUE(dominated_by_range(tree, notify, publish, publish + 1));
+  EXPECT_FALSE(dominated_by_range(tree, notify, maybe, maybe + 1));
+  // Within the branch, the condition dominates its body.
+  const std::size_t urgent = tok_index(f, "urgent");
+  EXPECT_TRUE(dominated_by_range(tree, maybe, urgent, urgent + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics cache: key discipline and the cold/warm replay speedup.
+
+TEST(LintCache, KeyIsOrderIndependentAndContentSensitive) {
+  const std::vector<std::string> roster = {"pairing", "spsc-ownership"};
+  const std::vector<std::string> reversed = {"spsc-ownership", "pairing"};
+  using Hashes = std::vector<std::pair<std::string, std::uint64_t>>;
+  const Hashes files = {{"a.cpp", fnv1a("alpha")}, {"b.cpp", fnv1a("beta")}};
+  const Hashes shuffled = {{"b.cpp", fnv1a("beta")}, {"a.cpp", fnv1a("alpha")}};
+  EXPECT_EQ(cache_key_hex(roster, files), cache_key_hex(reversed, shuffled));
+  const Hashes edited = {{"a.cpp", fnv1a("alpha2")}, {"b.cpp", fnv1a("beta")}};
+  EXPECT_NE(cache_key_hex(roster, files), cache_key_hex(roster, edited));
+  EXPECT_NE(cache_key_hex(roster, files),
+            cache_key_hex({"pairing"}, files));
+}
+
+TEST(LintCache, RoundTripPreservesDiagnosticsAndRejectsCorruption) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "hring_lint_cache_rt")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::vector<Diagnostic> in(1);
+  in[0].file = "weird\tname.cpp";
+  in[0].line = 7;
+  in[0].col = 3;
+  in[0].check = "pairing";
+  in[0].message = "line one\nline two\tand a tab";
+  const std::string key = cache_key_hex({"pairing"}, {{"x.cpp", 1}});
+  cache_store(dir, key, in);
+  std::vector<Diagnostic> out;
+  ASSERT_TRUE(cache_load(dir, key, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].file, in[0].file);
+  EXPECT_EQ(out[0].line, in[0].line);
+  EXPECT_EQ(out[0].message, in[0].message);
+  EXPECT_FALSE(cache_load(dir, cache_key_hex({"pairing"}, {{"y.cpp", 2}}),
+                          out));
+  // Truncate the entry: a corrupt cache must read as a miss, not garbage.
+  std::ofstream(std::filesystem::path(dir) / (key + ".diags"))
+      << "hring-lint-cache v1\n3\n";
+  EXPECT_FALSE(cache_load(dir, key, out));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LintCache, WarmReplayBeatsColdAnalysis) {
+  // A warm hit replays stored diagnostics without lexing, parsing, or
+  // running any check; it must beat the cold pipeline on a tree big
+  // enough to measure (the whole point of --cache-dir in lint.src_clean).
+  std::string chunk =
+      "class Hot {\n"
+      " public:\n"
+      "  void tick() { hits_.fetch_add(1, std::memory_order_relaxed); }\n"
+      "  [[nodiscard]] std::uint64_t hits() const {\n"
+      "    return hits_.load(std::memory_order_relaxed);\n"
+      "  }\n"
+      " private:\n"
+      "  alignas(64) std::atomic<std::uint64_t> hits_{0};\n"
+      "};\n";
+  std::string content;
+  for (int i = 0; i < 300; ++i) content += chunk;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "hring_lint_cache_speed")
+          .string();
+  std::filesystem::remove_all(dir);
+  const std::vector<std::string> roster = all_check_names();
+  const std::string key =
+      cache_key_hex(roster, {{"big.cpp", fnv1a(content)}});
+
+  const auto cold_start = std::chrono::steady_clock::now();
+  SourceFile file;
+  file.path = "big.cpp";
+  file.content = content;
+  lex(file);
+  Model model;
+  parse_file(file, model);
+  std::vector<Diagnostic> diags;
+  run_checks(model, roster, diags);
+  cache_store(dir, key, diags);
+  const auto cold = std::chrono::steady_clock::now() - cold_start;
+
+  const auto warm_start = std::chrono::steady_clock::now();
+  std::vector<Diagnostic> replayed;
+  ASSERT_TRUE(cache_load(dir, key, replayed));
+  const auto warm = std::chrono::steady_clock::now() - warm_start;
+
+  EXPECT_EQ(replayed.size(), diags.size());
+  EXPECT_LT(warm, cold);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,117 @@
+// The Backoff escalation ladder, pinned exactly (runtime/inhost/
+// spsc_queue.hpp). The ladder is a contract the runtime's parking logic
+// leans on: worker loops spin while progress is likely, escalate to
+// yields, then to capped doubling sleeps, and switch to the doorbell
+// futex once exhausted() says the cheap phases are spent. A recording
+// park policy replaces ThreadPark so every threshold transition is
+// asserted without touching the scheduler or the wall clock.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/inhost/spsc_queue.hpp"
+
+namespace hring::runtime {
+namespace {
+
+struct RecordingPark {
+  static std::uint32_t yields;
+  static std::vector<std::uint32_t> sleeps_us;
+
+  static void yield() { ++yields; }
+  static void sleep_us(std::uint32_t us) { sleeps_us.push_back(us); }
+
+  static void clear() {
+    yields = 0;
+    sleeps_us.clear();
+  }
+};
+std::uint32_t RecordingPark::yields = 0;
+std::vector<std::uint32_t> RecordingPark::sleeps_us;
+
+using TestBackoff = BasicBackoff<RecordingPark>;
+
+TEST(Backoff, SpinPhaseStaysOnCpu) {
+  RecordingPark::clear();
+  TestBackoff b;
+  for (std::uint32_t i = 0; i < TestBackoff::kSpinLimit; ++i) {
+    EXPECT_FALSE(b.exhausted());
+    b.pause();
+  }
+  EXPECT_EQ(RecordingPark::yields, 0u);
+  EXPECT_TRUE(RecordingPark::sleeps_us.empty());
+}
+
+TEST(Backoff, YieldPhaseStartsAtExactlySpinLimit) {
+  RecordingPark::clear();
+  TestBackoff b;
+  for (std::uint32_t i = 0; i < TestBackoff::kSpinLimit; ++i) b.pause();
+  // Pause kSpinLimit+1 is the first yield; the boundary is exact.
+  b.pause();
+  EXPECT_EQ(RecordingPark::yields, 1u);
+  for (std::uint32_t i = 1; i < TestBackoff::kYieldLimit; ++i) b.pause();
+  EXPECT_EQ(RecordingPark::yields, TestBackoff::kYieldLimit);
+  EXPECT_TRUE(RecordingPark::sleeps_us.empty());
+}
+
+TEST(Backoff, SleepPhaseDoublesFromStartToCap) {
+  RecordingPark::clear();
+  TestBackoff b;
+  const std::uint32_t ladder =
+      TestBackoff::kSpinLimit + TestBackoff::kYieldLimit;
+  for (std::uint32_t i = 0; i < ladder; ++i) b.pause();
+  // 50, 100, 200, 400, 800, 1600, then clamped at 2000 forever.
+  for (int i = 0; i < 8; ++i) b.pause();
+  const std::vector<std::uint32_t> expected = {50,   100,  200,  400,
+                                               800,  1600, 2000, 2000};
+  EXPECT_EQ(RecordingPark::sleeps_us, expected);
+  EXPECT_EQ(RecordingPark::yields, TestBackoff::kYieldLimit);
+}
+
+TEST(Backoff, ExhaustedFlipsWhenSpinAndYieldAreSpent) {
+  RecordingPark::clear();
+  TestBackoff b;
+  const std::uint32_t ladder =
+      TestBackoff::kSpinLimit + TestBackoff::kYieldLimit;
+  for (std::uint32_t i = 0; i < ladder; ++i) {
+    EXPECT_FALSE(b.exhausted()) << "pause " << i;
+    b.pause();
+  }
+  // The caller is now expected to park on the doorbell futex instead.
+  EXPECT_TRUE(b.exhausted());
+  b.pause();
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(Backoff, ResetRestartsTheLadderIncludingSleepWidth) {
+  RecordingPark::clear();
+  TestBackoff b;
+  const std::uint32_t ladder =
+      TestBackoff::kSpinLimit + TestBackoff::kYieldLimit;
+  for (std::uint32_t i = 0; i < ladder + 4; ++i) b.pause();
+  ASSERT_EQ(RecordingPark::sleeps_us.size(), 4u);  // 50,100,200,400
+  b.reset();
+  EXPECT_FALSE(b.exhausted());
+  RecordingPark::clear();
+  // Post-reset, the full spin phase runs again and the first sleep is
+  // back at kSleepStartUs — a stale doubled width would over-park a
+  // queue that just made progress.
+  for (std::uint32_t i = 0; i < ladder + 1; ++i) b.pause();
+  EXPECT_EQ(RecordingPark::yields, TestBackoff::kYieldLimit);
+  ASSERT_EQ(RecordingPark::sleeps_us.size(), 1u);
+  EXPECT_EQ(RecordingPark::sleeps_us[0], TestBackoff::kSleepStartUs);
+}
+
+TEST(Backoff, DefaultAliasUsesThreadPark) {
+  // Compile-time pin: the production alias is the template over
+  // ThreadPark, so the runtime's call sites got the same ladder the
+  // recording policy just verified.
+  static_assert(std::is_same_v<Backoff, BasicBackoff<ThreadPark>>);
+  Backoff b;
+  EXPECT_FALSE(b.exhausted());
+}
+
+}  // namespace
+}  // namespace hring::runtime

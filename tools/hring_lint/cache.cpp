@@ -1,0 +1,158 @@
+#include "cache.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace hring::lint {
+namespace {
+
+constexpr std::string_view kMagic = "hring-lint-cache v1";
+
+/// Tab/newline/backslash-escaped field (messages quote arbitrary source).
+[[nodiscard]] std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::filesystem::path entry_path(const std::string& dir,
+                                               const std::string& key_hex) {
+  return std::filesystem::path(dir) / (key_hex + ".diags");
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string cache_key_hex(
+    const std::vector<std::string>& checks,
+    std::vector<std::pair<std::string, std::uint64_t>> file_hashes) {
+  std::uint64_t h = fnv1a("schema");
+  h = fnv1a(std::to_string(kCacheSchemaVersion), h);
+  std::vector<std::string> sorted_checks = checks;
+  std::sort(sorted_checks.begin(), sorted_checks.end());
+  for (const std::string& c : sorted_checks) h = fnv1a(c, h);
+  std::sort(file_hashes.begin(), file_hashes.end());
+  for (const auto& [path, hash] : file_hashes) {
+    h = fnv1a(path, h);
+    h = fnv1a(std::to_string(hash), h);
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+bool cache_load(const std::string& dir, const std::string& key_hex,
+                std::vector<Diagnostic>& out) {
+  out.clear();
+  std::ifstream in(entry_path(dir, key_hex));
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return false;
+  std::size_t expected = 0;
+  if (!std::getline(in, line)) return false;
+  try {
+    expected = std::stoul(line);
+  } catch (...) {
+    return false;
+  }
+  while (std::getline(in, line)) {
+    // file \t line \t col \t check \t message
+    std::vector<std::string_view> fields;
+    std::string_view rest = line;
+    for (int f = 0; f < 4; ++f) {
+      const std::size_t tab = rest.find('\t');
+      if (tab == std::string_view::npos) {
+        out.clear();
+        return false;
+      }
+      fields.push_back(rest.substr(0, tab));
+      rest.remove_prefix(tab + 1);
+    }
+    Diagnostic d;
+    d.file = unescape(fields[0]);
+    try {
+      d.line = static_cast<std::uint32_t>(std::stoul(std::string(fields[1])));
+      d.col = static_cast<std::uint32_t>(std::stoul(std::string(fields[2])));
+    } catch (...) {
+      out.clear();
+      return false;
+    }
+    d.check = unescape(fields[3]);
+    d.message = unescape(rest);
+    out.push_back(std::move(d));
+  }
+  if (out.size() != expected) {
+    out.clear();
+    return false;
+  }
+  return true;
+}
+
+void cache_store(const std::string& dir, const std::string& key_hex,
+                 const std::vector<Diagnostic>& diags) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;
+  // Write-then-rename: a concurrent reader never sees a torn entry.
+  const std::filesystem::path final_path = entry_path(dir, key_hex);
+  const std::filesystem::path tmp_path =
+      final_path.string() + ".tmp" + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp_path);
+    if (!out) return;
+    out << kMagic << "\n" << diags.size() << "\n";
+    for (const Diagnostic& d : diags) {
+      out << escape(d.file) << "\t" << d.line << "\t" << d.col << "\t"
+          << escape(d.check) << "\t" << escape(d.message) << "\n";
+    }
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) std::filesystem::remove(tmp_path, ec);
+}
+
+}  // namespace hring::lint

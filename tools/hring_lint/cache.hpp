@@ -1,0 +1,50 @@
+// Content-hash diagnostics cache for hring-lint (--cache-dir=PATH).
+//
+// An invocation is fully determined by the tool's analysis schema, the
+// check roster it runs, and the bytes of every input file (the model is
+// cross-file, so any changed byte can change any diagnostic). The cache
+// key folds all three through FNV-1a; a hit replays the stored
+// diagnostics and skips lexing, parsing and every check — which is what
+// keeps `lint.src_clean` fast as the roster grows.
+//
+// The cache is bypassed by the driver under --verify and --emit-ir
+// (fixture matching and IR emission want the live pipeline), and a
+// corrupt or truncated entry is treated as a miss.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "diagnostics.hpp"
+
+namespace hring::lint {
+
+/// Bump when diagnostics, checks, or the model change shape: stale
+/// entries from an older linter must miss, not replay.
+inline constexpr std::uint32_t kCacheSchemaVersion = 1;
+
+/// FNV-1a 64-bit over `data`, chained through `seed`.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view data,
+                                  std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Cache key (hex) for an invocation: schema version + check roster +
+/// every input's (path, content-hash), order-independent via sorting.
+[[nodiscard]] std::string cache_key_hex(
+    const std::vector<std::string>& checks,
+    std::vector<std::pair<std::string, std::uint64_t>> file_hashes);
+
+/// Loads the entry for `key_hex` from `dir` into `out`. False on miss or
+/// a corrupt entry (out is left empty then).
+[[nodiscard]] bool cache_load(const std::string& dir,
+                              const std::string& key_hex,
+                              std::vector<Diagnostic>& out);
+
+/// Stores `diags` under `key_hex` in `dir` (created if absent). Failures
+/// are silent: the cache is an accelerator, never a correctness input.
+void cache_store(const std::string& dir, const std::string& key_hex,
+                 const std::vector<Diagnostic>& diags);
+
+}  // namespace hring::lint

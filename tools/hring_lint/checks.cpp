@@ -5,6 +5,7 @@
 #include <set>
 #include <string_view>
 
+#include "concurrency_model.hpp"
 #include "protocol_model.hpp"
 
 namespace hring::lint {
@@ -598,6 +599,15 @@ void run_checks(const Model& model, const std::vector<std::string>& checks,
     if (check == "alphabet-closure") check_alphabet_closure(model, diags);
     if (check == "batch-mirror") check_batch_mirror(model, diags);
     if (check == "atomics-discipline") check_atomics_discipline(model, diags);
+    if (check == "spsc-ownership") check_spsc_ownership(model, diags);
+    if (check == "pairing") check_pairing(model, diags);
+    if (check == "lost-wakeup") check_lost_wakeup(model, diags);
+    if (check == "no-block-in-hot-path") {
+      check_no_block_in_hot_path(model, diags);
+    }
+    if (check == "decode-before-trust") {
+      check_decode_before_trust(model, diags);
+    }
   }
   sort_diagnostics(diags);
 }

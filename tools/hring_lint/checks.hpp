@@ -13,8 +13,11 @@
 //                      annotated functions must not allocate.
 //
 // The four IR-level checks (space-bound, alphabet-closure, batch-mirror,
-// atomics-discipline) live in protocol_model.hpp and are dispatched from
-// run_checks alongside the token-level ones.
+// atomics-discipline) live in protocol_model.hpp, and the five
+// concurrency-discipline checks (spsc-ownership, pairing, lost-wakeup,
+// no-block-in-hot-path, decode-before-trust) live in
+// concurrency_model.hpp; both sets are dispatched from run_checks
+// alongside the token-level ones.
 //
 // Suppression: a `// hring-nolint(<check>)` (or bare `// hring-nolint`)
 // comment on the diagnosed line.
@@ -30,9 +33,13 @@ namespace hring::lint {
 
 inline const std::vector<std::string>& all_check_names() {
   static const std::vector<std::string> kNames = {
-      "codec-symmetry",   "guard-purity", "consume-discipline",
-      "hot-path-alloc",   "space-bound",  "alphabet-closure",
-      "batch-mirror",     "atomics-discipline"};
+      "codec-symmetry",       "guard-purity",
+      "consume-discipline",   "hot-path-alloc",
+      "space-bound",          "alphabet-closure",
+      "batch-mirror",         "atomics-discipline",
+      "spsc-ownership",       "pairing",
+      "lost-wakeup",          "no-block-in-hot-path",
+      "decode-before-trust"};
   return kNames;
 }
 

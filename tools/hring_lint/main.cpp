@@ -14,6 +14,10 @@
 //   --quiet          suppress diagnostics (exit status only)
 //   --emit-ir=PATH   write the extracted ProtocolIR as JSON ("-" = stdout)
 //   --json=PATH      write diagnostics as a JSON array ("-" = stdout)
+//   --sarif=PATH     write diagnostics as SARIF 2.1.0 ("-" = stdout)
+//   --cache-dir=DIR  replay diagnostics when the inputs' content hashes
+//                    match a previous run (ignored under --verify and
+//                    --emit-ir; see cache.hpp)
 //
 // Exit status: 0 clean / expectations matched, 1 diagnostics emitted /
 // expectations missed, 2 usage or I/O error.
@@ -22,14 +26,17 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "cache.hpp"
 #include "checks.hpp"
 #include "compdb.hpp"
 #include "diagnostics.hpp"
 #include "lexer.hpp"
 #include "protocol_model.hpp"
+#include "sarif.hpp"
 #include "source_model.hpp"
 #include "support/json.hpp"
 #include "verify.hpp"
@@ -85,6 +92,16 @@ void write_diagnostics_json(const std::vector<Diagnostic>& diags,
   w.end_array();
 }
 
+/// Reads `path` into `bytes`. False when unreadable.
+[[nodiscard]] bool read_file(const std::string& path, std::string& bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  bytes = std::move(buf).str();
+  return true;
+}
+
 /// Opens PATH for writing ("-" selects stdout). Returns the stream to use,
 /// or nullptr on failure.
 std::ostream* open_sink(const std::string& path, std::ofstream& storage) {
@@ -106,6 +123,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> checks = all_check_names();
   std::string emit_ir_path;
   std::string json_path;
+  std::string sarif_path;
+  std::string cache_dir;
   bool verify = false;
   bool summary = false;
   bool quiet = false;
@@ -130,6 +149,10 @@ int main(int argc, char** argv) {
       emit_ir_path = arg.substr(10);
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      cache_dir = arg.substr(12);
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--summary") {
@@ -175,22 +198,49 @@ int main(int argc, char** argv) {
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
+  // Read every input up front: the bytes feed the cache key, and on a
+  // miss they feed the lexer without a second disk pass.
+  std::vector<std::string> contents(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!read_file(paths[i], contents[i])) {
+      std::cerr << "hring-lint: cannot read " << paths[i] << "\n";
+      return 2;
+    }
+  }
+
+  // The cache replays whole-invocation diagnostics; --verify needs the
+  // live files for expectation comments and --emit-ir needs the model.
+  const bool use_cache =
+      !cache_dir.empty() && !verify && emit_ir_path.empty();
+  std::string cache_key;
+  std::vector<Diagnostic> diags;
+  bool cache_hit = false;
+  if (use_cache) {
+    std::vector<std::pair<std::string, std::uint64_t>> hashes;
+    hashes.reserve(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      hashes.emplace_back(paths[i], fnv1a(contents[i]));
+    }
+    cache_key = cache_key_hex(checks, std::move(hashes));
+    cache_hit = cache_load(cache_dir, cache_key, diags);
+  }
+
   // Lex and parse everything first: the model is cross-file, so e.g. an
   // out-of-line decode() in a .cpp attaches to its class from the .hpp.
   std::vector<std::unique_ptr<SourceFile>> files;
   Model model;
-  for (const std::string& path : paths) {
-    auto file = std::make_unique<SourceFile>();
-    if (!lex_file(path, *file)) {
-      std::cerr << "hring-lint: cannot read " << path << "\n";
-      return 2;
+  if (!cache_hit) {
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      auto file = std::make_unique<SourceFile>();
+      file->path = paths[i];
+      file->content = std::move(contents[i]);
+      lex(*file);
+      parse_file(*file, model);
+      files.push_back(std::move(file));
     }
-    parse_file(*file, model);
-    files.push_back(std::move(file));
+    run_checks(model, checks, diags);
+    if (use_cache) cache_store(cache_dir, cache_key, diags);
   }
-
-  std::vector<Diagnostic> diags;
-  run_checks(model, checks, diags);
 
   if (!emit_ir_path.empty()) {
     const ProtocolIR ir = extract_protocol_ir(model, nullptr);
@@ -207,6 +257,13 @@ int main(int argc, char** argv) {
     write_diagnostics_json(diags, *out);
     *out << "\n";
   }
+  if (!sarif_path.empty()) {
+    std::ofstream storage;
+    std::ostream* out = open_sink(sarif_path, storage);
+    if (out == nullptr) return 2;
+    write_sarif(diags, checks, *out);
+    *out << "\n";
+  }
 
   if (verify) {
     std::vector<Expectation> expectations;
@@ -214,7 +271,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> failures;
     if (verify_expectations(diags, expectations, failures)) {
       std::cout << "hring-lint: verified " << expectations.size()
-                << " expectation(s) across " << files.size() << " file(s)\n";
+                << " expectation(s) across " << paths.size() << " file(s)\n";
       return 0;
     }
     for (const std::string& f : failures) std::cerr << f << "\n";
@@ -228,7 +285,8 @@ int main(int argc, char** argv) {
   }
   if (summary) {
     const auto counts = count_by_check(diags);
-    std::cout << "hring-lint summary (" << files.size() << " files):";
+    std::cout << "hring-lint summary (" << paths.size() << " files"
+              << (cache_hit ? ", cached" : "") << "):";
     for (const std::string& c : checks) {
       const auto it = counts.find(c);
       std::cout << " " << c << "="

@@ -1,0 +1,82 @@
+#include "sarif.hpp"
+
+#include <ostream>
+
+#include "support/json.hpp"
+
+namespace hring::lint {
+namespace {
+
+/// Strips a leading "./" and any "../" prefixes: SARIF artifact URIs are
+/// resolved against the repository root, and the CI lint job runs the
+/// linter from there.
+[[nodiscard]] std::string artifact_uri(const std::string& path) {
+  std::string uri = path;
+  while (uri.rfind("./", 0) == 0) uri.erase(0, 2);
+  while (uri.rfind("../", 0) == 0) uri.erase(0, 3);
+  return uri;
+}
+
+}  // namespace
+
+void write_sarif(const std::vector<Diagnostic>& diags,
+                 const std::vector<std::string>& checks, std::ostream& out) {
+  hring::support::JsonWriter w(out);
+  w.begin_object();
+  w.key("$schema").value(
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json");
+  w.key("version").value("2.1.0");
+  w.key("runs").begin_array();
+  w.begin_object();
+  w.key("tool").begin_object();
+  w.key("driver").begin_object();
+  w.key("name").value("hring-lint");
+  w.key("informationUri")
+      .value("https://github.com/hring/hring/blob/main/docs/"
+             "STATIC_ANALYSIS.md");
+  w.key("rules").begin_array();
+  for (const std::string& check : checks) {
+    w.begin_object();
+    w.key("id").value("hring-" + check);
+    w.key("shortDescription").begin_object();
+    w.key("text").value(check + " (docs/STATIC_ANALYSIS.md)");
+    w.end_object();
+    w.key("defaultConfiguration").begin_object();
+    w.key("level").value("warning");
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();  // rules
+  w.end_object();  // driver
+  w.end_object();  // tool
+  w.key("results").begin_array();
+  for (const Diagnostic& d : diags) {
+    w.begin_object();
+    w.key("ruleId").value("hring-" + d.check);
+    w.key("level").value("warning");
+    w.key("message").begin_object();
+    w.key("text").value(d.message);
+    w.end_object();
+    w.key("locations").begin_array();
+    w.begin_object();
+    w.key("physicalLocation").begin_object();
+    w.key("artifactLocation").begin_object();
+    w.key("uri").value(artifact_uri(d.file));
+    w.end_object();
+    w.key("region").begin_object();
+    w.key("startLine").value(static_cast<std::uint64_t>(d.line));
+    w.key("startColumn").value(static_cast<std::uint64_t>(d.col));
+    w.end_object();
+    w.end_object();  // physicalLocation
+    w.end_object();  // location
+    w.end_array();   // locations
+    w.end_object();  // result
+  }
+  w.end_array();   // results
+  w.end_object();  // run
+  w.end_array();   // runs
+  w.end_object();
+}
+
+}  // namespace hring::lint

@@ -1,0 +1,25 @@
+// SARIF 2.1.0 emitter for hring-lint diagnostics (--sarif=PATH).
+//
+// Emits the minimal static-analysis interchange document GitHub code
+// scanning accepts (github/codeql-action/upload-sarif): one run, one
+// driver, one rule per check in the roster, one result per diagnostic
+// with a physical location. Paths are emitted as given on the command
+// line — CI invokes the linter from the repository root so the URIs are
+// repo-relative, which is what PR annotation needs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "diagnostics.hpp"
+
+namespace hring::lint {
+
+/// Writes `diags` as a SARIF 2.1.0 document. `checks` is the roster to
+/// declare as rules (typically all_check_names(), so a clean run still
+/// advertises what was checked).
+void write_sarif(const std::vector<Diagnostic>& diags,
+                 const std::vector<std::string>& checks, std::ostream& out);
+
+}  // namespace hring::lint
