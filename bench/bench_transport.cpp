@@ -121,6 +121,31 @@ int main(int argc, char** argv) {
       cells.push_back(cell);
     }
 
+    {  // inhost+flight: same runtime with the flight recorder attached.
+      // The delta against the inhost row above is the recorder's whole
+      // cost — two relaxed stores and a release store per event. The
+      // committed acceptance bound (attached within 1.5x of detached)
+      // is asserted at n=1000 by RecorderOverheadTest; these rows track
+      // the same ratio at bench scale.
+      runtime::InHostConfig config;
+      config.record_trace = false;
+      config.flight_recorder = true;
+      Cell cell;
+      cell.transport = "inhost+flight";
+      const auto t0 = Clock::now();
+      for (int run = 0; run < kRuns; ++run) {
+        const auto result = runtime::run_inhost(*ring, factory, config);
+        cell.msgs = result.messages_sent;
+        cell.leaders_ok =
+            cell.leaders_ok &&
+            result.outcome == sim::Outcome::kTerminated &&
+            result.leader_pid() == std::optional<sim::ProcessId>(expected);
+      }
+      cell.elections_per_sec =
+          kRuns / std::chrono::duration<double>(Clock::now() - t0).count();
+      cells.push_back(cell);
+    }
+
     for (const Cell& cell : cells) {
       auto& row = table.row();
       row.cell(cell.transport)

@@ -70,7 +70,16 @@ void usage(const char* argv0) {
       << "  --seed S            randomness seed (default 1)\n"
       << "  --trace             print the action-level trace\n"
       << "  --trace-out FILE    write the telemetry timeline (Chrome\n"
-         "                      trace-event / Perfetto JSON) to FILE\n"
+         "                      trace-event / Perfetto JSON) to FILE; with\n"
+         "                      run --transport=threads, the flight\n"
+         "                      recorder's trace of the real threads\n"
+      << "  --flight-out FILE   run --transport=threads: write the flight\n"
+         "                      recorder's forensic report (hring-forensics/1\n"
+         "                      JSON: per-thread last-K events, park state,\n"
+         "                      watchdog verdict) to FILE\n"
+      << "  --watchdog-ms N     run --transport=threads: watchdog quiet\n"
+         "                      period in milliseconds, N > 0 (still floored\n"
+         "                      at 4ms x ring size — see docs/RUNTIME.md)\n"
       << "  --metrics-out FILE  write the telemetry metrics document\n"
          "                      (counters + histograms) to FILE; with\n"
          "                      sweep, registries of all runs are merged\n"
@@ -128,6 +137,8 @@ int main(int argc, char** argv) {
   bool trace_cmd = false;
   std::string trace_out;
   std::string metrics_out;
+  std::string flight_out;
+  std::uint64_t watchdog_ms = 0;
   std::uint64_t watch_every = 0;
   std::size_t runs = 16;
   std::size_t workers = 0;
@@ -243,6 +254,31 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (arg == "--flight-out" || arg.rfind("--flight-out=", 0) == 0) {
+      flight_out = arg == "--flight-out"
+                       ? next()
+                       : arg.substr(sizeof("--flight-out=") - 1);
+    } else if (arg == "--watchdog-ms" ||
+               arg.rfind("--watchdog-ms=", 0) == 0) {
+      const std::string v = arg == "--watchdog-ms"
+                                ? next()
+                                : arg.substr(sizeof("--watchdog-ms=") - 1);
+      long long parsed = 0;
+      try {
+        std::size_t pos = 0;
+        parsed = std::stoll(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+      } catch (...) {
+        std::cerr << "bad --watchdog-ms '" << v
+                  << "': need a positive integer (milliseconds)\n";
+        return EXIT_FAILURE;
+      }
+      if (parsed <= 0) {
+        std::cerr << "bad --watchdog-ms " << parsed
+                  << ": need a positive quiet period in milliseconds\n";
+        return EXIT_FAILURE;
+      }
+      watchdog_ms = static_cast<std::uint64_t>(parsed);
     } else if (arg == "--watch") {
       watch_every = std::stoull(next());
     } else if (arg == "--model-check") {
@@ -313,6 +349,11 @@ int main(int argc, char** argv) {
                    "docs/RUNTIME.md)\n";
       return EXIT_FAILURE;
     }
+  } else if (watchdog_ms > 0 || !flight_out.empty()) {
+    std::cerr << (watchdog_ms > 0 ? "--watchdog-ms" : "--flight-out")
+              << " requires run --transport=threads (the in-host runtime; "
+                 "see docs/RUNTIME.md)\n";
+    return EXIT_FAILURE;
   }
 
   std::optional<ring::LabeledRing> ring;
@@ -367,8 +408,37 @@ int main(int argc, char** argv) {
   }
 
   if (threads_transport) {
+    runtime::InHostConfig inhost_config;
+    if (watchdog_ms > 0) inhost_config.quiet_period_ms = watchdog_ms;
+    // The flight recorder feeds both dumps: --flight-out gets the
+    // forensic report, --trace-out (on this transport) the recorder's
+    // Perfetto trace of the real threads rather than the simulator
+    // timeline.
+    inhost_config.flight_recorder =
+        !flight_out.empty() || !trace_out.empty();
     const auto result = runtime::run_inhost(
-        *ring, election::make_factory(config.algorithm));
+        *ring, election::make_factory(config.algorithm), inhost_config);
+
+    if (result.forensics.has_value()) {
+      if (!flight_out.empty()) {
+        std::ofstream out(flight_out);
+        if (!out) {
+          std::cerr << "cannot open " << flight_out << "\n";
+          return EXIT_FAILURE;
+        }
+        runtime::write_forensics_json(out, *result.forensics);
+        if (!quiet && !json) std::cout << "flight:  " << flight_out << "\n";
+      }
+      if (!trace_out.empty()) {
+        std::ofstream out(trace_out);
+        if (!out) {
+          std::cerr << "cannot open " << trace_out << "\n";
+          return EXIT_FAILURE;
+        }
+        runtime::write_flight_trace_json(out, *result.forensics);
+        if (!quiet && !json) std::cout << "trace:   " << trace_out << "\n";
+      }
+    }
 
     if (!metrics_out.empty()) {
       std::ofstream out(metrics_out);
@@ -412,10 +482,16 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(result.peak_space_bits));
       run_json.key("elapsed_seconds").value(seconds);
       run_json.key("verified").value(ok);
+      if (result.forensics.has_value()) {
+        run_json.key("forensics").value(result.forensics->verdict);
+      }
       run_json.end_object();
       std::cout << '\n';
     } else {
       std::cout << "outcome: " << sim::outcome_name(result.outcome) << "\n";
+      if (result.forensics.has_value()) {
+        std::cout << "forensics: " << result.forensics->summary() << "\n";
+      }
       if (leader.has_value()) {
         std::cout << "leader: p" << *leader << " (label "
                   << words::to_string(ring->label(*leader)) << ")\n";

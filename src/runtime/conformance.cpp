@@ -1,9 +1,11 @@
 #include "runtime/conformance.hpp"
 
+#include <fstream>
 #include <limits>
 #include <memory>
 
 #include "core/election_driver.hpp"
+#include "runtime/inhost/forensics.hpp"
 #include "sim/replay.hpp"
 #include "support/assert.hpp"
 
@@ -66,6 +68,7 @@ ConformanceReport check_conformance(
   // -- Stage 2: the real run ----------------------------------------------
   InHostConfig inhost_config = config.inhost;
   inhost_config.record_trace = true;  // stage 3 needs the firing records
+  if (!config.flight_out.empty()) inhost_config.flight_recorder = true;
   report.inhost =
       run_inhost(ring, election::make_factory(algorithm), inhost_config);
   const InHostResult& real = report.inhost;
@@ -158,6 +161,16 @@ ConformanceReport check_conformance(
         "[space] runtime peak " + std::to_string(real.peak_space_bits) +
         " bits exceeds the paper bound " +
         std::to_string(*report.space_bound_bits));
+  }
+
+  // A divergence with the recorder attached dumps the real run's flight
+  // evidence — the report the failing CI job or test leaves behind.
+  if (!report.ok() && report.inhost.forensics.has_value()) {
+    report.inhost.forensics->verdict = "divergence";
+    if (!config.flight_out.empty()) {
+      std::ofstream out(config.flight_out);
+      if (out) write_forensics_json(out, *report.inhost.forensics);
+    }
   }
   return report;
 }

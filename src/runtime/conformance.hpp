@@ -44,6 +44,11 @@ struct ConformanceConfig {
   /// baselines elect *a* leader). Simulator/runtime leader equality is
   /// checked for every algorithm regardless.
   bool check_true_leader = true;
+  /// When non-empty, the flight recorder is attached to stage 2 and, if
+  /// the check diverges, the forensic report (verdict re-stamped to
+  /// "divergence") is written here as hring-forensics/1 JSON. The report
+  /// also stays available as inhost.forensics either way.
+  std::string flight_out;
 };
 
 struct ConformanceReport {

@@ -60,19 +60,24 @@ class InHostLinks {
 
   /// Producer side: encodes and writes one frame, waiting out a full
   /// queue with adaptive backoff until `cancel` returns true. Returns
-  /// true iff the frame was enqueued.
+  /// true iff the frame was enqueued. `send_ts_ns` (optional) receives
+  /// the timestamp stamped into the frame — the flight recorder uses it
+  /// to key message-flow matching, since the receiver sees the same
+  /// value come back out of the decoder.
   template <class Cancel>
   [[nodiscard]] bool send_cancelable(std::size_t port,
-                                     const sim::Message& msg,
-                                     Cancel cancel) {
+                                     const sim::Message& msg, Cancel cancel,
+                                     std::uint64_t* send_ts_ns = nullptr) {
     HRING_EXPECTS(port < queues_.size());
     wire::Frame frame;
-    wire::encode(msg, monotonic_ns(), frame);
+    const std::uint64_t ts = monotonic_ns();
+    wire::encode(msg, ts, frame);
     Backoff backoff;
     while (!queues_[port]->try_write(frame.data(), frame.size())) {
       if (cancel()) return false;
       backoff.pause();
     }
+    if (send_ts_ns != nullptr) *send_ts_ns = ts;
     ring(port);
     return true;
   }

@@ -10,6 +10,7 @@
 #include "runtime/inhost/inhost_links.hpp"
 #include "runtime/inhost/membership.hpp"
 #include "support/assert.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace hring::runtime {
 namespace {
@@ -17,6 +18,14 @@ namespace {
 using sim::Message;
 using sim::Process;
 using sim::ProcessId;
+using telemetry::FlightEventKind;
+using telemetry::FlightRing;
+
+/// Flight-recorder store, skipped entirely when detached (`ring` null).
+// hring-lint: hot-path
+void rec(FlightRing* ring, FlightEventKind kind, std::uint64_t arg) {
+  if (ring != nullptr) ring->record(kind, arg);
+}
 
 /// Latency histogram bucket edges, nanoseconds (decade scale: an in-host
 /// hop lands in the 100ns..100µs range; the tails catch scheduler noise).
@@ -28,6 +37,9 @@ struct Shared {
   std::vector<std::unique_ptr<Process>> procs;
   InHostLinks links;  // port i: p_i -> p_{i+1}
   RingMembership membership;
+  /// Detached unless config.flight_recorder; each worker writes only its
+  /// own ring (telemetry/flight_recorder.hpp's single-writer discipline).
+  telemetry::FlightRecorder flight;
   alignas(64) std::atomic<std::uint64_t> seq{0};  // global firing stamps
   alignas(64) std::atomic<std::uint64_t> actions{0};
   std::atomic<std::uint64_t> sent{0};
@@ -63,11 +75,13 @@ struct WorkerLocal {
 class InHostContext final : public sim::Context {
  public:
   InHostContext(Shared& shared, WorkerLocal& local,
-                telemetry::HistogramId latency_hist, ProcessId pid)
+                telemetry::HistogramId latency_hist, ProcessId pid,
+                FlightRing* flight)
       : shared_(shared),
         local_(local),
         latency_hist_(latency_hist),
-        pid_(pid) {}
+        pid_(pid),
+        flight_(flight) {}
 
   Message consume() override {
     HRING_EXPECTS(!consumed_);
@@ -75,6 +89,7 @@ class InHostContext final : public sim::Context {
     std::uint64_t send_ts_ns = 0;
     const Message msg =
         shared_.links.recv_peeked(shared_.in_port(pid_), send_ts_ns);
+    rec(flight_, FlightEventKind::kRecv, send_ts_ns);
     const std::uint64_t now = monotonic_ns();
     local_.metrics.record(
         latency_hist_,
@@ -84,10 +99,12 @@ class InHostContext final : public sim::Context {
   }
 
   void send(const Message& msg) override {
+    std::uint64_t send_ts_ns = 0;
     const bool pushed = shared_.links.send_cancelable(
         shared_.out_port(pid_), msg,
-        [this] { return shared_.shutting_down(); });
+        [this] { return shared_.shutting_down(); }, &send_ts_ns);
     if (pushed) {
+      rec(flight_, FlightEventKind::kSend, send_ts_ns);
       shared_.sent.fetch_add(1, std::memory_order_relaxed);
     } else {
       shared_.abandoned.fetch_add(1, std::memory_order_relaxed);
@@ -101,18 +118,27 @@ class InHostContext final : public sim::Context {
   WorkerLocal& local_;
   telemetry::HistogramId latency_hist_;
   ProcessId pid_;
+  FlightRing* flight_;
   bool consumed_ = false;
 };
 
 void worker_loop(Shared& shared, WorkerLocal& local, ProcessId pid,
                  const InHostConfig& config, std::size_t label_bits) {
+  FlightRing* flight =
+      shared.flight.attached() ? &shared.flight.ring(pid) : nullptr;
   // Bootstrap: announce, then hold until the control plane starts the
   // election (or aborts the run).
+  rec(flight, FlightEventKind::kJoin, pid);
   shared.membership.join(pid);
   if (!shared.membership.await_start(
           [&] { return shared.shutting_down(); })) {
+    rec(flight, FlightEventKind::kExit, 0);
     shared.workers_alive.fetch_sub(1, std::memory_order_acq_rel);
     return;
+  }
+  rec(flight, FlightEventKind::kStart, 0);
+  if (config.post_start_hook) {
+    config.post_start_hook(pid, [&] { return shared.shutting_down(); });
   }
 
   Process& proc = *shared.procs[pid];
@@ -122,24 +148,43 @@ void worker_loop(Shared& shared, WorkerLocal& local, ProcessId pid,
   const std::size_t in_port = shared.in_port(pid);
   local.peak_space_bits = proc.space_bits(label_bits);  // initial space
   Backoff backoff;
+  // Event coalescing: one kBeat per idle spell (not per loop iteration —
+  // that would flush the whole ring between firings) and one
+  // kBackoffEscalate per ladder exhaustion.
+  std::uint64_t rejects_seen = shared.links.rejects(in_port);
+  bool beat_recorded = false;
+  bool escalation_recorded = false;
 
   while (!shared.shutting_down()) {
-    if (proc.halted()) break;
+    if (proc.halted()) {
+      rec(flight, FlightEventKind::kHalt, 0);
+      break;
+    }
     // Single consumer of in_port: the peeked head stays the head until
     // we consume it ourselves.
     const Message* head = shared.links.peek(in_port);
+    if (flight != nullptr) {
+      const std::uint64_t rejects_now = shared.links.rejects(in_port);
+      if (rejects_now != rejects_seen) {
+        rec(flight, FlightEventKind::kWireReject, rejects_now);
+        rejects_seen = rejects_now;
+      }
+    }
     if (proc.enabled(head)) {
       // Stamp before consuming/sending — the linearization invariant
       // (see inhost_ring.hpp's header comment).
       const std::uint64_t seq =
           shared.seq.fetch_add(1, std::memory_order_relaxed);
-      InHostContext ctx(shared, local, latency_hist, pid);
+      rec(flight, FlightEventKind::kFire, seq);
+      InHostContext ctx(shared, local, latency_hist, pid, flight);
       proc.fire(head, ctx);
       shared.actions.fetch_add(1, std::memory_order_relaxed);
       if (config.record_trace) local.trace.push_back({seq, pid});
       local.peak_space_bits =
           std::max(local.peak_space_bits, proc.space_bits(label_bits));
       backoff.reset();
+      beat_recorded = false;
+      escalation_recorded = false;
       if (++local.fired >= config.max_actions_per_process) {
         shared.budget_hit.store(true, std::memory_order_relaxed);
         shared.shutdown.store(true, std::memory_order_relaxed);
@@ -153,9 +198,17 @@ void worker_loop(Shared& shared, WorkerLocal& local, ProcessId pid,
     // send (or shutdown's ring_all) ends directly. Beats let the
     // watchdog tell "parked, ring quiet" from "never got here".
     shared.membership.beat(pid);
+    if (!beat_recorded) {
+      rec(flight, FlightEventKind::kBeat, local.fired);
+      beat_recorded = true;
+    }
     if (!backoff.exhausted()) {
       backoff.pause();
       continue;
+    }
+    if (!escalation_recorded) {
+      rec(flight, FlightEventKind::kBackoffEscalate, 0);
+      escalation_recorded = true;
     }
     const std::uint64_t ticket = shared.links.doorbell(in_port);
     // Re-check enabledness after taking the ticket: a frame published
@@ -165,9 +218,14 @@ void worker_loop(Shared& shared, WorkerLocal& local, ProcessId pid,
     // fire) or a new message (which rings the doorbell).
     if (!proc.enabled(shared.links.peek(in_port)) &&
         !shared.shutting_down()) {
+      rec(flight, FlightEventKind::kPark, ticket);
       shared.links.doorbell_wait(in_port, ticket);
+      rec(flight, FlightEventKind::kDoorbellWake,
+          shared.links.doorbell(in_port));
+      beat_recorded = false;  // next idle spell logs a fresh beat
     }
   }
+  rec(flight, FlightEventKind::kExit, 0);
   shared.workers_alive.fetch_sub(1, std::memory_order_acq_rel);
 }
 
@@ -202,6 +260,9 @@ InHostResult run_inhost(const ring::LabeledRing& ring,
           ? config.queue_capacity_bytes
           : (4 * n + 16) * wire::kFrameBytes;
   shared.links.reset(n, label_bits, capacity_bytes);
+  if (config.flight_recorder) {
+    shared.flight.reset(n, config.flight_capacity);
+  }
   // Pre-spawn, so the pokes are ordered before all worker reads.
   if (config.pre_start_poke) config.pre_start_poke(shared.links);
   shared.workers_alive.store(n, std::memory_order_relaxed);
@@ -235,6 +296,19 @@ InHostResult run_inhost(const ring::LabeledRing& ring,
       config.quiet_period_ms, static_cast<std::uint64_t>(4 * n));
   std::uint64_t last_actions = shared.actions.load(std::memory_order_relaxed);
   auto last_progress = std::chrono::steady_clock::now();
+  // Beat counters read at the previous elapsed quiet period (empty until
+  // the first one elapses) — see the confirmation pass below.
+  std::vector<std::uint64_t> quiet_beats;
+  std::optional<ForensicReport> forensics;
+  const auto snapshot_counters = [&shared] {
+    ForensicCounters counters;
+    counters.actions = shared.actions.load(std::memory_order_relaxed);
+    counters.messages_sent = shared.sent.load(std::memory_order_relaxed);
+    counters.messages_received =
+        shared.received.load(std::memory_order_relaxed);
+    counters.wire_rejects = shared.links.total_rejects();
+    return counters;
+  };
   for (;;) {
     if (shared.workers_alive.load(std::memory_order_acquire) == 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -247,6 +321,46 @@ InHostResult run_inhost(const ring::LabeledRing& ring,
       continue;
     }
     if (now - last_progress > std::chrono::milliseconds(quiet_ms)) {
+      // With the recorder attached, the stall verdict takes a
+      // confirmation pass. A quiet period can elapse on an
+      // oversubscribed host while innocent workers are still climbing
+      // the backoff ladder toward the park, and a single snapshot would
+      // misfile them as wedged. The verdict waits until every worker is
+      // *settled* (last event a park or exit) or *beat-frozen* (its
+      // liveness counter did not advance across the whole previous
+      // quiet period — a worker that never reached the idle loop, i.e.
+      // genuinely wedged). An unsettled beating worker is alive and
+      // merely idle; it either fires (progress resets the watch above)
+      // or parks within its ladder's O(ms) horizon, so each granted
+      // period makes monotone progress toward the settled picture and
+      // confirmation terminates.
+      if (shared.flight.attached()) {
+        std::vector<std::uint64_t> beats_now(n);
+        bool settled_or_frozen = true;
+        for (ProcessId pid = 0; pid < n; ++pid) {
+          beats_now[pid] = shared.membership.beats(pid);
+          const FlightEventKind last = shared.flight.ring(pid).last_kind();
+          const bool settled = last == FlightEventKind::kPark ||
+                               last == FlightEventKind::kExit;
+          const bool frozen =
+              !quiet_beats.empty() && beats_now[pid] == quiet_beats[pid];
+          if (!settled && !frozen) settled_or_frozen = false;
+        }
+        const bool first_read = quiet_beats.empty();
+        quiet_beats = std::move(beats_now);
+        if (first_read || !settled_or_frozen) {
+          last_progress = now;
+          continue;
+        }
+      }
+      // Freeze the forensic evidence *before* waking anyone: the park
+      // picture at this instant is the stall picture; ring_all would
+      // append wake/exit events and repaint it.
+      if (shared.flight.attached() && !forensics.has_value()) {
+        forensics = collect_forensics(shared.flight, shared.links,
+                                      shared.membership, "stall", quiet_ms,
+                                      snapshot_counters());
+      }
       shared.shutdown.store(true, std::memory_order_relaxed);
       shared.membership.kick();
       shared.links.ring_all();
@@ -287,6 +401,20 @@ InHostResult run_inhost(const ring::LabeledRing& ring,
     result.outcome =
         clean ? sim::Outcome::kTerminated : sim::Outcome::kDeadlock;
   }
+  // A run the watchdog never flagged still yields a report when the
+  // recorder is attached (the workers have joined, so the rings are
+  // quiescent). The stall-time snapshot, when one exists, wins.
+  if (shared.flight.attached() && !forensics.has_value()) {
+    const char* verdict =
+        result.outcome == sim::Outcome::kTerminated ? "completed"
+        : result.outcome == sim::Outcome::kBudgetExhausted
+            ? "budget-exhausted"
+            : "deadlock";
+    forensics = collect_forensics(shared.flight, shared.links,
+                                  shared.membership, verdict, quiet_ms,
+                                  snapshot_counters());
+  }
+  result.forensics = std::move(forensics);
 
   // Fold the per-worker views: metrics merge by name, space maxes,
   // traces concatenate and sort by the global stamps.

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ring/labeled_ring.hpp"
+#include "runtime/inhost/forensics.hpp"
 #include "sim/engine.hpp"
 #include "sim/run_result.hpp"
 #include "telemetry/metrics.hpp"
@@ -48,10 +49,24 @@ struct InHostConfig {
   /// Record (seq, pid) firing records for conformance replay. Costs one
   /// vector push per firing; disable for pure throughput runs.
   bool record_trace = true;
+  /// Attach the per-thread flight recorder (telemetry/flight_recorder.hpp).
+  /// Recording costs a few relaxed stores per loop event; on watchdog
+  /// stall or run completion the rings are merged into
+  /// InHostResult::forensics.
+  bool flight_recorder = false;
+  /// Retained events per thread when the recorder is attached (rounded up
+  /// to a power of two; the ring overwrites its oldest beyond this).
+  std::size_t flight_capacity = 256;
   /// Test hook: invoked with the sized data plane before any worker
   /// starts — the wire-path mutation tests pre-seed corrupted frames
   /// here. Election code never sets this.
   std::function<void(InHostLinks&)> pre_start_poke;
+  /// Test hook: each worker calls this right after the election starts,
+  /// before its first firing; the second argument polls the shutdown
+  /// flag. The injected-stall forensics tests wedge a worker here (spin
+  /// on the poll without beating). Election code never sets this.
+  std::function<void(sim::ProcessId, const std::function<bool()>&)>
+      post_start_hook;
 };
 
 /// One firing, stamped by the global sequence counter at firing start.
@@ -81,6 +96,11 @@ struct InHostResult {
   telemetry::MetricsRegistry metrics;
   /// Firing records sorted by seq (empty unless config.record_trace).
   std::vector<FiringRecord> trace;
+  /// Present iff config.flight_recorder: the merged per-thread flight
+  /// rings plus the watchdog's verdict. Collected at stall-detection time
+  /// (before workers are woken for shutdown, so the park picture is the
+  /// stall picture) or, on a clean finish, after the workers join.
+  std::optional<ForensicReport> forensics;
 
   /// The unique leader's pid, if exactly one process has isLeader.
   [[nodiscard]] std::optional<sim::ProcessId> leader_pid() const;

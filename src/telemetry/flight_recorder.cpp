@@ -1,0 +1,92 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <chrono>
+
+namespace hring::telemetry {
+namespace {
+
+[[nodiscard]] std::size_t round_up_pow2(std::size_t value) {
+  std::size_t pow2 = 16;
+  while (pow2 < value) pow2 <<= 1U;
+  return pow2;
+}
+
+}  // namespace
+
+const char* flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kJoin:
+      return "join";
+    case FlightEventKind::kStart:
+      return "start";
+    case FlightEventKind::kFire:
+      return "fire";
+    case FlightEventKind::kSend:
+      return "send";
+    case FlightEventKind::kRecv:
+      return "recv";
+    case FlightEventKind::kWireReject:
+      return "wire-reject";
+    case FlightEventKind::kBeat:
+      return "beat";
+    case FlightEventKind::kBackoffEscalate:
+      return "backoff-escalate";
+    case FlightEventKind::kPark:
+      return "park";
+    case FlightEventKind::kDoorbellWake:
+      return "doorbell-wake";
+    case FlightEventKind::kHalt:
+      return "halt";
+    case FlightEventKind::kExit:
+      return "exit";
+  }
+  return "unknown";
+}
+
+void FlightRing::reset(std::size_t capacity) {
+  const std::size_t slots = round_up_pow2(capacity);
+  slots_ = std::make_unique<Slot[]>(slots);
+  mask_ = slots - 1;
+  cursor_.store(0, std::memory_order_release);
+}
+
+std::uint64_t FlightRing::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::vector<FlightEvent> FlightRing::snapshot() const {
+  std::vector<FlightEvent> events;
+  if (!slots_) return events;
+  const std::uint64_t end = cursor_.load(std::memory_order_acquire);
+  const std::uint64_t retained =
+      end < static_cast<std::uint64_t>(capacity())
+          ? end
+          : static_cast<std::uint64_t>(capacity());
+  events.reserve(static_cast<std::size_t>(retained));
+  for (std::uint64_t at = end - retained; at != end; ++at) {
+    const Slot& slot = slots_[static_cast<std::size_t>(at) & mask_];
+    FlightEvent event;
+    event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    const std::uint64_t word = slot.word.load(std::memory_order_relaxed);
+    event.kind = static_cast<FlightEventKind>(word & 0xFFU);
+    event.arg = word >> 8U;
+    events.push_back(event);
+  }
+  return events;
+}
+
+void FlightRecorder::reset(std::size_t threads, std::size_t capacity) {
+  rings_ = std::make_unique<FlightRing[]>(threads);
+  threads_ = threads;
+  for (std::size_t tid = 0; tid < threads; ++tid) rings_[tid].reset(capacity);
+}
+
+void FlightRecorder::detach() {
+  rings_.reset();
+  threads_ = 0;
+}
+
+}  // namespace hring::telemetry

@@ -1,8 +1,23 @@
 #include "telemetry/metrics.hpp"
 
+#include <stdexcept>
+
 #include "support/json.hpp"
 
 namespace hring::telemetry {
+namespace {
+
+[[nodiscard]] std::string edges_summary(std::span<const double> edges) {
+  std::string text = "[" + std::to_string(edges.size()) + " edges";
+  if (!edges.empty()) {
+    text += ": " + std::to_string(edges.front()) + " .. " +
+            std::to_string(edges.back());
+  }
+  text += "]";
+  return text;
+}
+
+}  // namespace
 
 Histogram::Histogram(std::string name, std::vector<double> edges)
     : name_(std::move(name)),
@@ -15,7 +30,12 @@ Histogram::Histogram(std::string name, std::vector<double> edges)
 }
 
 void Histogram::merge(const Histogram& other) {
-  HRING_EXPECTS(same_layout(other));
+  if (!same_layout(other)) {
+    throw std::invalid_argument(
+        "Histogram::merge: layout mismatch for '" + name_ + "' vs '" +
+        other.name_ + "': " + edges_summary(edges_) + " vs " +
+        edges_summary(other.edges_));
+  }
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }
@@ -63,9 +83,16 @@ HistogramId MetricsRegistry::histogram(std::string_view name,
                                        std::span<const double> edges) {
   for (std::size_t i = 0; i < histograms_.size(); ++i) {
     if (histograms_[i].name() == name) {
-      HRING_EXPECTS(histograms_[i].edges().size() == edges.size());
-      for (std::size_t j = 0; j < edges.size(); ++j) {
-        HRING_EXPECTS(histograms_[i].edges()[j] == edges[j]);
+      bool same = histograms_[i].edges().size() == edges.size();
+      for (std::size_t j = 0; same && j < edges.size(); ++j) {
+        same = histograms_[i].edges()[j] == edges[j];
+      }
+      if (!same) {
+        throw std::invalid_argument(
+            "MetricsRegistry::histogram: '" + std::string(name) +
+            "' re-registered with different edges: " +
+            edges_summary(histograms_[i].edges()) + " vs " +
+            edges_summary(edges));
       }
       return HistogramId{i};
     }

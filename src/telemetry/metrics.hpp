@@ -105,8 +105,10 @@ class Histogram {
     return name_ == other.name_ && edges_ == other.edges_;
   }
 
-  /// Adds `other`'s buckets and moments into this histogram. Requires
-  /// same_layout(other).
+  /// Adds `other`'s buckets and moments into this histogram. Throws
+  /// std::invalid_argument (naming both layouts) unless
+  /// same_layout(other) — bucket-wise addition over different edge
+  /// sequences would silently produce nonsense.
   void merge(const Histogram& other);
 
  private:
@@ -137,7 +139,10 @@ class MetricsRegistry {
 
   /// Finds or creates the histogram `name` with the given bucket edges
   /// (strictly increasing, non-empty). Re-registering an existing name
-  /// requires identical edges.
+  /// with different edges throws std::invalid_argument — two metrics
+  /// sharing a name but not a bucket layout is a caller bug the merge
+  /// path must be able to reject cleanly (registries cross worker and
+  /// even process boundaries).
   HistogramId histogram(std::string_view name, std::span<const double> edges);
 
   // hring-lint: hot-path
@@ -162,8 +167,11 @@ class MetricsRegistry {
   [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
 
   /// Folds `other` into this registry by metric name: counters add,
-  /// histograms merge bucket-wise (requiring identical edges), metrics
-  /// missing here are created. The aggregation step of a parallel sweep.
+  /// histograms merge bucket-wise, metrics missing here are created. The
+  /// aggregation step of a parallel sweep. A histogram name carried by
+  /// both registries with different edges throws std::invalid_argument
+  /// (from histogram()); this registry keeps whatever was merged before
+  /// the mismatching entry.
   void merge(const MetricsRegistry& other);
 
   /// Emits the registry as one JSON object value:

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "support/json.hpp"
+#include "telemetry/trace_writer.hpp"
 
 namespace hring::telemetry {
 
@@ -15,58 +16,26 @@ double to_micros(double time_units) {
   return time_units * kTraceMicrosPerTimeUnit;
 }
 
-/// Common prefix of every event: name/ph/ts plus the track coordinates.
-void event_head(JsonWriter& json, std::string_view name, const char* ph,
-                double ts_micros, int pid, std::uint64_t tid) {
-  json.begin_object();
-  json.key("name").value(name);
-  json.key("ph").value(ph);
-  json.key("ts").value(ts_micros);
-  json.key("pid").value(pid);
-  json.key("tid").value(tid);
-}
-
-void metadata_event(JsonWriter& json, const char* kind, int pid,
-                    std::uint64_t tid, bool with_tid,
-                    std::string_view label) {
-  json.begin_object();
-  json.key("name").value(kind);
-  json.key("ph").value("M");
-  json.key("pid").value(pid);
-  if (with_tid) json.key("tid").value(tid);
-  json.key("args").begin_object();
-  json.key("name").value(label);
-  json.end_object();
-  json.end_object();
-}
-
 }  // namespace
 
 void write_trace_json(std::ostream& out,
                       const TelemetryObserver& telemetry) {
-  JsonWriter json(out);
+  TraceEventWriter trace(out);
   const std::size_t n = telemetry.process_count();
-
-  json.begin_object();
-  json.key("displayTimeUnit").value("ms");
-  json.key("traceEvents").begin_array();
 
   // Track naming. Processes and links are separate trace-pid groups so
   // Perfetto renders them as two collapsible lanes.
-  metadata_event(json, "process_name", kTraceProcessGroup, 0, false,
-                 "processes");
-  metadata_event(json, "process_name", kTraceLinkGroup, 0, false, "links");
+  trace.name_group(kTraceProcessGroup, "processes");
+  trace.name_group(kTraceLinkGroup, "links");
   for (sim::ProcessId pid = 0; pid < n; ++pid) {
     const std::string proc_name = "p" + std::to_string(pid) + " (label " +
                                   std::to_string(telemetry.process_label(pid)) +
                                   ")";
-    metadata_event(json, "thread_name", kTraceProcessGroup, pid, true,
-                   proc_name);
+    trace.name_track(kTraceProcessGroup, pid, proc_name);
     const std::string link_name =
         "link p" + std::to_string(pid) + " -> p" +
         std::to_string(pid + 1 == n ? 0 : pid + 1);
-    metadata_event(json, "thread_name", kTraceLinkGroup, pid, true,
-                   link_name);
+    trace.name_track(kTraceLinkGroup, pid, link_name);
   }
 
   // B_k phase spans: complete ("X") events on the owning process's track.
@@ -74,8 +43,8 @@ void write_trace_json(std::ostream& out,
     const std::string name = "phase " + std::to_string(span.phase) + " g=" +
                              std::to_string(span.guest) +
                              (span.active ? "*" : "");
-    event_head(json, name, "X", to_micros(span.begin_time),
-               kTraceProcessGroup, span.pid);
+    JsonWriter& json = trace.begin_event(
+        name, "X", to_micros(span.begin_time), kTraceProcessGroup, span.pid);
     json.key("dur").value(to_micros(span.end_time - span.begin_time));
     json.key("cat").value("phase");
     json.key("args").begin_object();
@@ -84,17 +53,19 @@ void write_trace_json(std::ostream& out,
     json.key("active").value(span.active);
     json.key("closed").value(span.closed);
     json.end_object();
-    json.end_object();
+    trace.end_event();
   }
 
   // Deactivations and barrier starts: instant ("i") ticks.
   for (const Marker& marker : telemetry.markers()) {
     const bool deactivate = marker.kind == Marker::Kind::kDeactivate;
-    event_head(json, deactivate ? "deactivate" : "phase barrier", "i",
-               to_micros(marker.time), kTraceProcessGroup, marker.pid);
+    JsonWriter& json =
+        trace.begin_event(deactivate ? "deactivate" : "phase barrier", "i",
+                          to_micros(marker.time), kTraceProcessGroup,
+                          marker.pid);
     json.key("s").value("t");
     json.key("cat").value("marker");
-    json.end_object();
+    trace.end_event();
   }
 
   // Active-process census as a counter track: starts at the number of
@@ -106,12 +77,13 @@ void write_trace_json(std::ostream& out,
   }
   if (active > 0) {
     const auto emit_active = [&](double time, std::uint64_t value) {
-      event_head(json, "active processes", "C", to_micros(time),
-                 kTraceProcessGroup, 0);
+      JsonWriter& json = trace.begin_event("active processes", "C",
+                                           to_micros(time), kTraceProcessGroup,
+                                           0);
       json.key("args").begin_object();
       json.key("active").value(value);
       json.end_object();
-      json.end_object();
+      trace.end_event();
     };
     emit_active(0.0, active);
     for (const Marker& marker : telemetry.markers()) {
@@ -124,31 +96,31 @@ void write_trace_json(std::ostream& out,
   // Per-process space_bits as counter tracks (sampled on change).
   for (const SpaceSample& sample : telemetry.space_samples()) {
     const std::string name = "space_bits p" + std::to_string(sample.pid);
-    event_head(json, name, "C", to_micros(sample.time), kTraceProcessGroup,
-               sample.pid);
+    JsonWriter& json = trace.begin_event(name, "C", to_micros(sample.time),
+                                         kTraceProcessGroup, sample.pid);
     json.key("args").begin_object();
     json.key("bits").value(static_cast<std::uint64_t>(sample.bits));
     json.end_object();
-    json.end_object();
+    trace.end_event();
   }
 
   // Message spans: complete events on the carrying link's track. A span
   // with equal send and receive times (step engine, same-step delivery)
   // still renders as a zero-width slice.
   for (const MessageSpan& span : telemetry.message_spans()) {
-    event_head(json, sim::kind_name(span.kind), "X",
-               to_micros(span.send_time), kTraceLinkGroup, span.from);
+    JsonWriter& json =
+        trace.begin_event(sim::kind_name(span.kind), "X",
+                          to_micros(span.send_time), kTraceLinkGroup,
+                          span.from);
     json.key("dur").value(to_micros(span.recv_time - span.send_time));
     json.key("cat").value("message");
     json.key("args").begin_object();
     json.key("label").value(span.label);
     json.end_object();
-    json.end_object();
+    trace.end_event();
   }
 
-  json.end_array();
-  json.end_object();
-  out << '\n';
+  trace.finish(out);
 }
 
 void write_metrics_json(std::ostream& out, const MetricsRegistry& registry) {

@@ -1,0 +1,86 @@
+// hring-telemetry: shared Chrome trace-event machinery.
+//
+// TraceEventWriter is the common substrate under every Perfetto-loadable
+// document the repo emits: the simulator timeline exporter
+// (trace_export.cpp) and the in-host runtime's flight-recorder trace
+// (runtime/inhost/forensics.cpp). It owns the document envelope
+// ({"displayTimeUnit":"ms","traceEvents":[...]}), track naming metadata,
+// and the common per-event head (name/ph/ts/pid/tid); callers append
+// event-specific keys through json() and close with end_event().
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+#include "support/json.hpp"
+
+namespace hring::telemetry {
+
+class TraceEventWriter {
+ public:
+  /// Opens the trace document on `out`.
+  explicit TraceEventWriter(std::ostream& out) : json_(out) {
+    json_.begin_object();
+    json_.key("displayTimeUnit").value("ms");
+    json_.key("traceEvents").begin_array();
+  }
+
+  /// Closes the traceEvents array and the document, then writes a final
+  /// newline. Call exactly once, after the last event.
+  void finish(std::ostream& out) {
+    json_.end_array();
+    json_.end_object();
+    out << '\n';
+  }
+
+  /// Names a trace-pid group (a "process" in the Chrome trace model —
+  /// rendered by Perfetto as one collapsible lane).
+  void name_group(int pid, std::string_view label) {
+    metadata_event("process_name", pid, 0, false, label);
+  }
+
+  /// Names one track (a "thread") inside a group.
+  void name_track(int pid, std::uint64_t tid, std::string_view label) {
+    metadata_event("thread_name", pid, tid, true, label);
+  }
+
+  /// Opens one event with the common head. Append event-specific keys
+  /// (dur, cat, args, ...) through the returned writer, then call
+  /// end_event().
+  support::JsonWriter& begin_event(std::string_view name, const char* ph,
+                                   double ts_micros, int pid,
+                                   std::uint64_t tid) {
+    json_.begin_object();
+    json_.key("name").value(name);
+    json_.key("ph").value(ph);
+    json_.key("ts").value(ts_micros);
+    json_.key("pid").value(pid);
+    json_.key("tid").value(tid);
+    return json_;
+  }
+
+  void end_event() { json_.end_object(); }
+
+  /// The underlying writer, for event-specific keys between begin_event
+  /// and end_event.
+  [[nodiscard]] support::JsonWriter& json() { return json_; }
+
+ private:
+  void metadata_event(const char* kind, int pid, std::uint64_t tid,
+                      bool with_tid, std::string_view label) {
+    json_.begin_object();
+    json_.key("name").value(kind);
+    json_.key("ph").value("M");
+    json_.key("pid").value(pid);
+    if (with_tid) json_.key("tid").value(tid);
+    json_.key("args").begin_object();
+    json_.key("name").value(label);
+    json_.end_object();
+    json_.end_object();
+  }
+
+  support::JsonWriter json_;
+};
+
+}  // namespace hring::telemetry

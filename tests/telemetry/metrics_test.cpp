@@ -7,6 +7,8 @@
 #include "telemetry/metrics.hpp"
 
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -150,6 +152,79 @@ TEST(MetricsRegistry, MergeFromParallelWorkers) {
   EXPECT_EQ(latency->overflow(), 1u);
   EXPECT_DOUBLE_EQ(latency->min(), 0.5);
   EXPECT_DOUBLE_EQ(latency->max(), 8.0);
+}
+
+// -- Merge error paths (ISSUE 10 satellite) ----------------------------------
+// Registries cross worker and process boundaries (sweep aggregation, the
+// bench JSON merge), so a layout mismatch must surface as a catchable
+// error naming the metric — never an assert or silent bucket nonsense.
+
+TEST(Histogram, MergeMismatchedEdgesThrows) {
+  Histogram a("latency", {1.0, 2.0, 4.0});
+  Histogram b("latency", {1.0, 3.0, 9.0});
+  a.record(1.5);
+  b.record(1.5);
+  try {
+    a.merge(b);
+    FAIL() << "merge with mismatched edges did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("latency"), std::string::npos)
+        << e.what();
+  }
+  // The destination is untouched by the rejected merge.
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Histogram, MergeMismatchedNameThrows) {
+  Histogram a("latency", {1.0, 2.0});
+  Histogram b("steps", {1.0, 2.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, ReregisterHistogramWithDifferentEdgesThrows) {
+  MetricsRegistry reg;
+  const double edges[] = {1.0, 2.0};
+  const double other[] = {1.0, 2.0, 4.0};
+  (void)reg.histogram("h", edges);
+  try {
+    (void)reg.histogram("h", other);
+    FAIL() << "re-registration with different edges did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'h'"), std::string::npos)
+        << e.what();
+  }
+  // Identical edges still find the original id.
+  EXPECT_EQ(reg.histogram("h", edges).index, 0u);
+}
+
+TEST(MetricsRegistry, MergeMismatchedHistogramEdgesThrows) {
+  const double edges_a[] = {1.0, 2.0};
+  const double edges_b[] = {1.0, 5.0};
+  MetricsRegistry a;
+  a.record(a.histogram("latency", edges_a), 1.5);
+  MetricsRegistry b;
+  b.record(b.histogram("latency", edges_b), 1.5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  // The destination histogram keeps its pre-merge contents.
+  ASSERT_NE(a.find_histogram("latency"), nullptr);
+  EXPECT_EQ(a.find_histogram("latency")->count(), 1u);
+}
+
+TEST(MetricsRegistry, MergeCollidingCounterNamesAddsAcrossRegistries) {
+  // Same counter name in three source registries: the collisions resolve
+  // by addition, and an unrelated name with the same value stays apart.
+  MetricsRegistry merged;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    MetricsRegistry worker;
+    worker.add(worker.counter("collide"), i);
+    worker.add(worker.counter("worker_" + std::to_string(i)), i);
+    merged.merge(worker);
+  }
+  ASSERT_NE(merged.find_counter("collide"), nullptr);
+  EXPECT_EQ(merged.find_counter("collide")->value, 6u);
+  EXPECT_EQ(merged.find_counter("worker_1")->value, 1u);
+  EXPECT_EQ(merged.find_counter("worker_2")->value, 2u);
+  EXPECT_EQ(merged.find_counter("worker_3")->value, 3u);
 }
 
 TEST(HistogramQuantile, EmptyHistogramIsZero) {
